@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration: make the workload helpers importable
+and expose the Figure 2 fixtures."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.paper import figure2  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def repo():
+    return figure2.repository()
+
+
+@pytest.fixture(scope="session")
+def c1():
+    return figure2.client_1()
+
+
+@pytest.fixture(scope="session")
+def c2():
+    return figure2.client_2()

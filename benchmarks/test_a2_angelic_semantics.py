@@ -1,0 +1,107 @@
+"""Experiment A2 — ablation: angelic vs unfiltered semantics on *invalid*
+plans.
+
+Under the plan the paper rejects for security ({2↦ℓbr, 3↦ℓs3} for C2):
+
+* the **angelic** (monitored) semantics blocks the violating events —
+  the run either routes around them or the monitor aborts the client;
+* the **unfiltered** (unmonitored) semantics runs straight into an
+  invalid history.
+
+Expected shape: the monitored run never produces an invalid history (at
+the price of aborting); every unmonitored scheduler seed that reaches
+the hotel's events produces one.  This is the counterpart of A1: the
+monitor is exactly as necessary as the plan is invalid.
+"""
+
+from repro.core.errors import SecurityViolationError
+from repro.network.config import Component, Configuration
+from repro.network.explorer import explore
+from repro.network.simulator import Simulator
+from repro.paper import figure2
+
+
+def setup():
+    config = Configuration.of(
+        Component.client(figure2.LOC_CLIENT_2, figure2.client_2()))
+    return config, figure2.plan_pi2_bad_security(), figure2.repository()
+
+
+def run_monitored(seed):
+    config, plan, repo = setup()
+    simulator = Simulator(config, plan, repo, monitored=True, seed=seed)
+    try:
+        simulator.run(max_steps=500)
+        aborted = False
+    except SecurityViolationError:
+        aborted = True
+    return simulator, aborted
+
+
+def run_unmonitored(seed):
+    config, plan, repo = setup()
+    simulator = Simulator(config, plan, repo, monitored=False, seed=seed)
+    simulator.run(max_steps=500)
+    return simulator
+
+
+def test_a2_monitored_runs_stay_valid(benchmark):
+    def sweep():
+        outcomes = []
+        for seed in range(20):
+            simulator, aborted = run_monitored(seed)
+            assert simulator.all_histories_valid()
+            outcomes.append(aborted)
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    print(f"\nA2 — monitored: {sum(outcomes)}/20 seeds aborted by the "
+          "monitor, 0 invalid histories")
+
+
+def test_a2_unmonitored_runs_violate(benchmark):
+    def sweep():
+        violations = 0
+        for seed in range(20):
+            simulator = run_unmonitored(seed)
+            if not simulator.all_histories_valid():
+                violations += 1
+        return violations
+
+    violations = benchmark(sweep)
+    print(f"A2 — unmonitored: {violations}/20 seeds produced an invalid "
+          "history")
+    # S3 *always* signs (sgn(3) is its first action once the session
+    # opens), and the session always opens: every seed violates.
+    assert violations == 20
+
+
+def test_a2_exhaustive_confirms_reachable_violation(benchmark):
+    config, plan, repo = setup()
+    result = benchmark(explore, config, plan, repo)
+    assert not result.secure
+    assert result.violations
+    print(f"A2 — explorer: {len(result.violations)} violating transitions "
+          f"over {result.explored} configurations")
+
+
+def test_a2_valid_plan_shows_no_difference(benchmark):
+    """Control: under the valid plan the two semantics coincide — no
+    blocked move, no violation, for any seed."""
+    config = Configuration.of(
+        Component.client(figure2.LOC_CLIENT_2, figure2.client_2()))
+    plan, repo = figure2.plan_pi2_valid(), figure2.repository()
+
+    def sweep():
+        for seed in range(10):
+            monitored = Simulator(config, plan, repo, monitored=True,
+                                  seed=seed)
+            monitored.run(max_steps=500)
+            unmonitored = Simulator(config, plan, repo, monitored=False,
+                                    seed=seed)
+            unmonitored.run(max_steps=500)
+            assert monitored.histories() == unmonitored.histories()
+            assert monitored.is_terminated()
+        return True
+
+    assert benchmark(sweep)

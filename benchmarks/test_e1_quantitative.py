@@ -1,0 +1,95 @@
+"""Experiment E1 — extension: quantitative policies and cost-aware plans.
+
+The paper's stated future work (Section 5, ref. [14]).  Measures:
+
+* enforcement cost of a compiled budget policy vs a comparable
+  qualitative policy (the compilation adds counter states, so checking
+  should stay within a small constant factor);
+* cost-aware synthesis: pricing every valid plan of a synthetic
+  marketplace and picking the cheapest.
+
+Expected shape: budget enforcement scales with the budget (state count
+is budget + 2); pricing adds one longest-path pass per valid plan on top
+of ordinary synthesis.
+"""
+
+import pytest
+
+from repro.core.actions import Event
+from repro.core.plans import Plan
+from repro.core.syntax import event, external, receive, request, send, seq
+from repro.network.repository import Repository
+from repro.analysis.planner import find_valid_plans
+from repro.policies.library import at_most
+from repro.quantitative import (CostModel, budget_policy,
+                                cheapest_valid_plan, priced_valid_plans)
+
+MODEL = CostModel.of({"io": 1, "crypto": 5})
+
+
+def marketplace(services=6):
+    """Workers whose sessions cost 1 … *services* crypto units."""
+    pool = {}
+    for index in range(1, services + 1):
+        body = [event("crypto", i) for i in range(index)]
+        pool[f"w{index}"] = receive("go", seq(*body, send("done")))
+    return Repository(pool)
+
+
+CLIENT = request("r", budget_policy("cap", {"crypto": 5}, 20),
+                 seq(send("go"), external(("done", seq()))))
+
+
+@pytest.mark.parametrize("budget", [4, 16, 64],
+                         ids=["b4", "b16", "b64"])
+def test_e1_budget_enforcement_scales_with_budget(benchmark, budget):
+    policy = budget_policy("cap", {"tick": 1}, budget)
+    trace = [Event("tick")] * budget
+
+    def run():
+        runner = policy.runner()
+        for item in trace:
+            runner.step(item)
+        return runner.in_violation
+
+    assert benchmark(run) is False
+    assert policy.accepts(trace + [Event("tick")])
+
+
+def test_e1_budget_vs_qualitative_baseline(benchmark):
+    """Same counting behaviour expressed as at_most: identical verdicts,
+    comparable cost (both are plain usage automata)."""
+    budget = budget_policy("cap", {"tick": 1}, 10)
+    baseline = at_most("tick", 10)
+    trace = [Event("tick")] * 10 + [Event("noise")] * 50
+
+    def run():
+        return (budget.accepts(trace), baseline.accepts(trace))
+
+    verdicts = benchmark(run)
+    assert verdicts == (False, False)
+
+
+def test_e1_priced_synthesis(benchmark):
+    repo = marketplace()
+    priced = benchmark(priced_valid_plans, CLIENT, repo, MODEL)
+    costs = [entry.cost for entry in priced]
+    print(f"\nE1 — plan costs, cheapest first: {costs}")
+    assert costs == sorted(costs)
+    # Budget 20 at 5/crypto admits workers firing ≤ 4 crypto events.
+    assert len(priced) == 4
+
+
+def test_e1_cheapest_plan(benchmark):
+    repo = marketplace()
+    best = benchmark(cheapest_valid_plan, CLIENT, repo, MODEL)
+    assert best is not None
+    assert best.plan == Plan.single("r", "w1")
+    assert best.cost == 5  # w1 fires a single crypto event
+
+
+def test_e1_pricing_overhead_over_plain_synthesis(benchmark):
+    """Plain synthesis as the baseline the pricing pass sits on."""
+    repo = marketplace()
+    result = benchmark(find_valid_plans, CLIENT, repo)
+    assert len(result.valid_plans) == 4

@@ -1,0 +1,75 @@
+"""Experiment E2 — extension: bounded service availability.
+
+The paper assumes services "replicate themselves unboundedly many
+times" and names bounded availability as future work.  Measures the
+static concurrent-demand bound against the dynamic ground truth
+(exhaustive maximum of open sessions per location) and the cost of the
+feasibility check as client count grows.
+
+Expected shape: static and observed demand agree on the paper network;
+the static check is orders of magnitude cheaper and scales linearly in
+clients, while the observed check pays the full interleaving blow-up.
+"""
+
+import pytest
+
+from repro.analysis.capacity import (check_capacities,
+                                     observed_concurrent_demand,
+                                     static_concurrent_demand)
+from repro.core.plans import PlanVector
+from repro.network.config import Component, Configuration
+from repro.paper import figure2
+
+
+def paper_vector():
+    clients = [(figure2.client_1(), figure2.plan_pi1()),
+               (figure2.client_2(), figure2.plan_pi2_valid())]
+    plans = PlanVector.of(figure2.plan_pi1(), figure2.plan_pi2_valid())
+    return clients, plans
+
+
+def test_e2_static_demand(benchmark, repo):
+    clients, _ = paper_vector()
+
+    def run():
+        return {location: static_concurrent_demand(clients, repo,
+                                                   location)
+                for location in repo.locations()}
+
+    demands = benchmark(run)
+    print(f"\nE2 — static demand: {demands}")
+    assert demands == {"lbr": 2, "ls1": 0, "ls2": 0, "ls3": 1, "ls4": 1}
+
+
+def test_e2_observed_demand_matches(benchmark, repo):
+    clients, plans = paper_vector()
+    config = figure2.initial_configuration()
+
+    def run():
+        return {location: observed_concurrent_demand(config, plans, repo,
+                                                     location)
+                for location in repo.locations()}
+
+    observed = benchmark(run)
+    static = {location: static_concurrent_demand(clients, repo, location)
+              for location in repo.locations()}
+    print(f"E2 — observed demand: {observed}")
+    assert observed == static
+
+
+@pytest.mark.parametrize("copies", [2, 6, 12],
+                         ids=["n2", "n6", "n12"])
+def test_e2_static_check_scales_with_clients(benchmark, repo, copies):
+    base = [(figure2.client_1(), figure2.plan_pi1())]
+    clients = base * copies
+    report = benchmark(check_capacities, clients, repo,
+                       {figure2.LOC_BROKER: copies, "ls3": copies})
+    assert report.feasible
+
+
+def test_e2_oversubscription_detected(benchmark, repo):
+    clients, _ = paper_vector()
+    report = benchmark(check_capacities, clients, repo,
+                       {figure2.LOC_BROKER: 1})
+    assert not report.feasible
+    assert report.oversubscribed() == (figure2.LOC_BROKER,)

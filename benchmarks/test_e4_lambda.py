@@ -1,0 +1,109 @@
+"""Experiment E4 — substrate: the type-and-effect system.
+
+Section 3's programming model: behaviours are extracted from λ-programs
+by a type-and-effect system (machinery of refs [4, 5]).  Measures:
+
+* extraction of the Figure 2 participants from their λ-programs, and
+  behavioural equality (strong bisimilarity) with the hand-written
+  terms — the correctness claim;
+* inference cost on growing program families (chains of applications,
+  towers of conditionals, recursive servers).
+
+Expected shape: inference is a single syntax-directed pass — linear in
+program size, with the conditional join paying for choice-branch
+concatenation only.
+"""
+
+import pytest
+
+from repro.contracts.lts import bisimilar, build_lts
+from repro.core.semantics import step
+from repro.lam import (BOOL, UNIT, UNIT_VALUE, app, cond, evt, extract,
+                       fix, infer, lam, offer, open_session, send,
+                       seq_terms, var)
+from repro.paper import figure2
+
+ENV = {"rooms_available": BOOL}
+
+
+def client_program():
+    return open_session("1", figure2.policy_c1(), seq_terms(
+        send("Req"),
+        offer(("CoBo", send("Pay")), ("NoAv", UNIT_VALUE))))
+
+
+def broker_program():
+    return seq_terms(
+        offer(("Req", UNIT_VALUE)),
+        open_session("3", None, seq_terms(
+            send("IdC"),
+            offer(("Bok", UNIT_VALUE), ("UnA", UNIT_VALUE)))),
+        cond(var("rooms_available"),
+             seq_terms(send("CoBo"), offer(("Pay", UNIT_VALUE))),
+             send("NoAv")))
+
+
+def test_e4_extract_figure2_participants(benchmark):
+    def run():
+        return (extract(client_program()),
+                extract(broker_program(), env=ENV))
+
+    client_effect, broker_effect = benchmark(run)
+    assert bisimilar(build_lts(client_effect, step),
+                     build_lts(figure2.client_1(), step))
+    assert bisimilar(build_lts(broker_effect, step),
+                     build_lts(figure2.broker(), step))
+    print("\nE4 — λ-extracted C1 and Br are bisimilar to Figure 2's")
+
+
+@pytest.mark.parametrize("size", [20, 80, 320],
+                         ids=["n20", "n80", "n320"])
+def test_e4_inference_scales_linearly(benchmark, size):
+    # A chain of `size` applications of an event-firing function.
+    function = lam("x", UNIT, evt("tick"))
+    program = seq_terms(*(app(function, UNIT_VALUE)
+                          for _ in range(size)))
+    judgement = benchmark(infer, program)
+    assert judgement.type == UNIT
+
+
+@pytest.mark.parametrize("depth", [4, 8],
+                         ids=["d4", "d8"])
+def test_e4_conditional_towers(benchmark, depth):
+    # Nested conditionals whose branches all end in outputs: the join
+    # builds an internal choice with 2^depth branches.
+    def tower(level):
+        if level == 0:
+            return send(f"leaf{id(level) % 7}")
+        return cond(var("b"), tower(level - 1), tower(level - 1))
+
+    program = tower(depth)
+    judgement = benchmark(infer, program, {"b": BOOL})
+    assert judgement.type == UNIT
+
+
+def test_e4_recursive_server_extraction(benchmark):
+    server = fix("serve", "u", UNIT, UNIT,
+                 offer(("go", seq_terms(evt("tick"), send("ack"),
+                                        app(var("serve"), UNIT_VALUE))),
+                       ("stop", UNIT_VALUE)))
+    judgement = benchmark(infer, server)
+    from repro.core.syntax import Mu
+    assert isinstance(judgement.type.latent, Mu)
+
+
+def test_e4_extracted_network_verifies(benchmark):
+    from repro.analysis.verification import verify_client
+    from repro.network.repository import Repository
+
+    def run():
+        client_effect = extract(client_program())
+        repo = Repository({
+            "lbr": extract(broker_program(), env=ENV),
+            "ls3": figure2.hotel_3(),
+        })
+        return verify_client(client_effect, repo,
+                             location=figure2.LOC_CLIENT_1)
+
+    verdict = benchmark(run)
+    assert verdict.verified

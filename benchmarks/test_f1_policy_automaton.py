@@ -1,0 +1,95 @@
+"""Experiment F1 — Figure 1: the usage automaton φ(bl, p, t).
+
+Regenerates the figure as a verdict table — for every hotel trace and
+every policy instantiation used in Section 2, does the automaton accept
+(= flag a violation)? — and measures the cost of checking traces against
+the parametric automaton.
+
+Paper's expected shape: exactly the traces the figure forbids are
+accepted; everything else self-loops to the safe sinks q4/q5.
+"""
+
+from repro.core.actions import Event
+from repro.policies.library import hotel_policy
+
+#: The four hotels of Figure 2 as (id, price, rating) traces.
+HOTELS = {
+    "S1": (1, 45, 80),
+    "S2": (2, 70, 100),
+    "S3": (3, 90, 100),
+    "S4": (4, 50, 90),
+}
+
+#: The two instantiations of Section 2 plus two sweep points.
+INSTANTIATIONS = {
+    "phi({1},45,100)": (frozenset({1}), 45, 100),
+    "phi({1,3},40,70)": (frozenset({1, 3}), 40, 70),
+    "phi({},0,200)": (frozenset(), 0, 200),     # everything too pricey+bad
+    "phi({},999,0)": (frozenset(), 999, 0),     # everything acceptable
+}
+
+#: hotel → instantiation → expected *violation* verdict.
+EXPECTED = {
+    "S1": {"phi({1},45,100)": True, "phi({1,3},40,70)": True,
+           "phi({},0,200)": True, "phi({},999,0)": False},
+    "S2": {"phi({1},45,100)": False, "phi({1,3},40,70)": False,
+           "phi({},0,200)": True, "phi({},999,0)": False},
+    "S3": {"phi({1},45,100)": False, "phi({1,3},40,70)": True,
+           "phi({},0,200)": True, "phi({},999,0)": False},
+    "S4": {"phi({1},45,100)": True, "phi({1,3},40,70)": False,
+           "phi({},0,200)": True, "phi({},999,0)": False},
+}
+
+
+def trace_of(identifier, price, rating):
+    return (Event("sgn", (identifier,)), Event("p", (price,)),
+            Event("ta", (rating,)))
+
+
+def verdict_table():
+    table = {}
+    for hotel, shape in HOTELS.items():
+        row = {}
+        for name, (bl, p, t) in INSTANTIATIONS.items():
+            policy = hotel_policy(bl, p, t)
+            row[name] = policy.accepts(trace_of(*shape))
+        table[hotel] = row
+    return table
+
+
+def test_f1_verdict_table(benchmark):
+    table = benchmark(verdict_table)
+    print("\nF1 — violation verdicts (rows: hotels, cols: φ instances)")
+    names = list(INSTANTIATIONS)
+    print(f"{'':6s}" + "".join(f"{n:>22s}" for n in names))
+    for hotel, row in table.items():
+        cells = "".join(f"{str(row[n]):>22s}" for n in names)
+        print(f"{hotel:6s}{cells}")
+    assert table == EXPECTED
+
+
+def test_f1_long_trace_monitoring(benchmark):
+    """Checking cost on long histories (many self-loop events around the
+    three significant ones)."""
+    policy = hotel_policy({1}, 45, 100)
+    noise = tuple(Event("noise", (i,)) for i in range(500))
+    trace = noise + trace_of(3, 90, 100) + noise
+
+    result = benchmark(policy.accepts, trace)
+    assert result is False  # S3 respects φ1
+
+
+def test_f1_incremental_runner(benchmark):
+    """Per-event stepping cost of the incremental runner (what the
+    reference monitor pays on every access event)."""
+    policy = hotel_policy({1}, 45, 100)
+    events = [Event("sgn", (3,))] + \
+        [Event("noise", (i % 7,)) for i in range(300)]
+
+    def run():
+        runner = policy.runner()
+        for item in events:
+            runner.step(item)
+        return runner.in_violation
+
+    assert benchmark(run) is False

@@ -1,0 +1,83 @@
+"""Experiment F2 — Figure 2: the hotel network and Section 2's claims.
+
+Regenerates (and times) the two matrices Section 2 states in prose:
+
+* the compliance matrix hotel ⊢-with-broker (S2 is the only failure);
+* the per-client policy-satisfaction matrix (S1/S4 violate φ1; S1/S3
+  violate φ2).
+"""
+
+from repro.analysis.requests import extract_requests
+from repro.core.compliance import check_compliance, compliant_coinductive
+from repro.paper import figure2
+
+EXPECTED_COMPLIANCE = {"ls1": True, "ls2": False, "ls3": True, "ls4": True}
+
+EXPECTED_SECURITY = {
+    # (policy name, hotel) -> respects?
+    "phi1": {"ls1": False, "ls2": True, "ls3": True, "ls4": False},
+    "phi2": {"ls1": False, "ls2": True, "ls3": False, "ls4": True},
+}
+
+
+def compliance_matrix(repo, broker_body):
+    return {location: check_compliance(broker_body,
+                                       repo[location]).compliant
+            for location in figure2.LOC_HOTELS}
+
+
+def test_f2_compliance_matrix(benchmark, repo):
+    (broker_request,) = extract_requests(figure2.broker())
+    matrix = benchmark(compliance_matrix, repo, broker_request.body)
+    print("\nF2 — Br ⊢ hotel:")
+    for location, verdict in matrix.items():
+        marker = "" if verdict else "   <- the Del message (paper: S2)"
+        print(f"  {location}: {verdict}{marker}")
+    assert matrix == EXPECTED_COMPLIANCE
+
+
+def test_f2_compliance_matrix_coinductive(benchmark, repo):
+    """Same matrix through the Definition-4 decider (Theorem 1 says the
+    timings may differ but the verdicts may not)."""
+    (broker_request,) = extract_requests(figure2.broker())
+
+    def run():
+        return {location: compliant_coinductive(broker_request.body,
+                                                repo[location])
+                for location in figure2.LOC_HOTELS}
+
+    assert benchmark(run) == EXPECTED_COMPLIANCE
+
+
+def security_matrix():
+    from repro.core.actions import Event
+    traces = {
+        "ls1": (Event("sgn", (1,)), Event("p", (45,)), Event("ta", (80,))),
+        "ls2": (Event("sgn", (2,)), Event("p", (70,)), Event("ta", (100,))),
+        "ls3": (Event("sgn", (3,)), Event("p", (90,)), Event("ta", (100,))),
+        "ls4": (Event("sgn", (4,)), Event("p", (50,)), Event("ta", (90,))),
+    }
+    policies = {"phi1": figure2.policy_c1(), "phi2": figure2.policy_c2()}
+    return {name: {location: policy.respects(trace)
+                   for location, trace in traces.items()}
+            for name, policy in policies.items()}
+
+
+def test_f2_security_matrix(benchmark):
+    matrix = benchmark(security_matrix)
+    print("\nF2 — hotel trace respects client policy:")
+    for name, row in matrix.items():
+        print(f"  {name}: " + "  ".join(f"{loc}:{val}"
+                                        for loc, val in row.items()))
+    assert matrix == EXPECTED_SECURITY
+
+
+def test_f2_client_broker_compliance(benchmark, repo, c1):
+    """Both clients are compliant with the broker."""
+    (info,) = extract_requests(c1)
+
+    def run():
+        return check_compliance(info.body,
+                                repo[figure2.LOC_BROKER]).compliant
+
+    assert benchmark(run) is True

@@ -1,0 +1,54 @@
+"""Experiment P1 — Section 5: valid-plan synthesis on the paper network.
+
+Runs the full static analysis (enumerate → compliance per request →
+security model checking) for both clients and checks it derives exactly
+the plans Section 2 discusses:
+
+* C1: π1 = {1↦ℓbr, 3↦ℓs3} is the unique valid plan;
+* C2: {2↦ℓbr, 3↦ℓs2} rejected (compliance), {2↦ℓbr, 3↦ℓs3} rejected
+  (security), {2↦ℓbr, 3↦ℓs4} valid.
+"""
+
+from repro.analysis.planner import analyze_plan, find_valid_plans
+from repro.analysis.verification import verify_network
+from repro.paper import figure2
+
+
+def test_p1_client1_synthesis(benchmark, repo, c1):
+    result = benchmark(find_valid_plans, c1, repo,
+                       location=figure2.LOC_CLIENT_1)
+    print("\nP1 — plans for C1:")
+    for analysis in result.valid_plans + result.invalid_plans:
+        print(f"  {analysis.explain()}")
+    assert [a.plan for a in result.valid_plans] == [figure2.plan_pi1()]
+    assert len(result.invalid_plans) == 8
+
+
+def test_p1_client2_synthesis(benchmark, repo, c2):
+    result = benchmark(find_valid_plans, c2, repo,
+                       location=figure2.LOC_CLIENT_2)
+    assert [a.plan for a in result.valid_plans] == \
+        [figure2.plan_pi2_valid()]
+    rejected = {str(a.plan): a for a in result.invalid_plans}
+    bad_compliance = rejected[str(figure2.plan_pi2_bad_compliance())]
+    assert not bad_compliance.compliant and bad_compliance.secure
+    bad_security = rejected[str(figure2.plan_pi2_bad_security())]
+    assert bad_security.compliant and not bad_security.secure
+
+
+def test_p1_single_plan_analysis(benchmark, repo, c1):
+    """Cost of analysing one candidate plan (the repeated inner step of
+    synthesis)."""
+    analysis = benchmark(analyze_plan, c1, figure2.plan_pi1(), repo,
+                         figure2.LOC_CLIENT_1)
+    assert analysis.valid
+
+
+def test_p1_whole_network_verification(benchmark, repo, c1, c2):
+    """The Section-5 end-to-end procedure over the client vector."""
+    clients = {figure2.LOC_CLIENT_1: c1, figure2.LOC_CLIENT_2: c2}
+    verdict = benchmark(verify_network, clients, repo)
+    assert verdict.verified
+    vector = verdict.plan_vector()
+    assert vector[0] == figure2.plan_pi1()
+    assert vector[1] == figure2.plan_pi2_valid()

@@ -1,0 +1,55 @@
+"""Experiment S1 — (synthetic) product-automaton scaling.
+
+The paper gives no measurements; this bench characterises the cost of
+Definition 5 as the contracts grow: width w (alternatives per round) and
+depth d (request/response rounds).  Expected shape: state count and time
+grow with the product of the per-round pairings, and detecting
+*non-compliance* is no more expensive than proving compliance — the
+product stops at the first reachable final state.
+"""
+
+import pytest
+
+from repro.core.compliance import check_compliance
+from repro.contracts.contract import Contract
+from repro.contracts.product import build_product
+
+from workloads import almost_compliant_server, wide_client, wide_server
+
+SIZES = [(2, 2), (2, 4), (3, 3), (4, 2), (4, 3)]
+
+
+@pytest.mark.parametrize("width,depth", SIZES,
+                         ids=[f"w{w}d{d}" for w, d in SIZES])
+def test_s1_compliant_product(benchmark, width, depth):
+    client = Contract(wide_client(width, depth))
+    server = Contract(wide_server(width, depth))
+    product = benchmark(build_product, client, server)
+    assert product.language_is_empty()
+    print(f"\nS1 w={width} d={depth}: {len(product.lts)} product states, "
+          f"{len(client.lts)}×{len(server.lts)} components")
+
+
+@pytest.mark.parametrize("width,depth", SIZES,
+                         ids=[f"w{w}d{d}" for w, d in SIZES])
+def test_s1_noncompliant_product(benchmark, width, depth):
+    client = wide_client(width, depth)
+    server = almost_compliant_server(width, depth)
+    result = benchmark(check_compliance, client, server)
+    assert not result.compliant
+    assert result.trace is not None
+
+
+def test_s1_state_count_scales_with_width(benchmark):
+    """The series the experiment reports: product states per width."""
+    def series():
+        counts = {}
+        for width in (2, 3, 4, 5):
+            product = build_product(Contract(wide_client(width, 2)),
+                                    Contract(wide_server(width, 2)))
+            counts[width] = len(product.lts)
+        return counts
+
+    counts = benchmark(series)
+    print(f"\nS1 — product states by width (depth 2): {counts}")
+    assert counts[2] < counts[3] < counts[4] < counts[5]

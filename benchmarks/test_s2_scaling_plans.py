@@ -1,0 +1,48 @@
+"""Experiment S2 — (synthetic) plan-synthesis scaling.
+
+k sequential requests over a pool of s interchangeable workers give sᵏ
+candidate plans; with every third worker defective, the analysis must
+reject the plans that touch one.  Expected shape: candidate count (and
+synthesis time) grows as sᵏ, the valid fraction as ((s - s/3)/s)ᵏ, and
+bounding the search (max_plans) caps the cost.
+"""
+
+import pytest
+
+from repro.analysis.planner import enumerate_plans, find_valid_plans
+
+from workloads import chain_client, worker_pool
+
+SHAPES = [(1, 4), (2, 4), (3, 4), (2, 8)]
+
+
+@pytest.mark.parametrize("requests,services", SHAPES,
+                         ids=[f"k{k}s{s}" for k, s in SHAPES])
+def test_s2_enumeration(benchmark, requests, services):
+    client = chain_client(requests)
+    repo = worker_pool(services)
+    plans = benchmark(lambda: list(enumerate_plans(client, repo)))
+    assert len(plans) == services ** requests
+
+
+@pytest.mark.parametrize("requests,services", SHAPES,
+                         ids=[f"k{k}s{s}" for k, s in SHAPES])
+def test_s2_full_synthesis(benchmark, requests, services):
+    client = chain_client(requests)
+    repo = worker_pool(services, defective_every=3)
+    result = benchmark(find_valid_plans, client, repo)
+    defective = services // 3
+    expected_valid = (services - defective) ** requests
+    total = services ** requests
+    print(f"\nS2 k={requests} s={services}: {len(result.valid_plans)}"
+          f"/{total} plans valid")
+    assert len(result.valid_plans) == expected_valid
+    assert len(result.invalid_plans) == total - expected_valid
+
+
+def test_s2_bounded_search(benchmark):
+    """max_plans caps the analysed candidates (anytime synthesis)."""
+    client = chain_client(3)
+    repo = worker_pool(6, defective_every=3)
+    result = benchmark(find_valid_plans, client, repo, max_plans=10)
+    assert (len(result.valid_plans) + len(result.invalid_plans)) == 10

@@ -1,0 +1,67 @@
+"""Experiment T2 — Theorem 2 / Corollary 1: compliance is an invariant,
+hence a safety property.
+
+Measures the practical consequence the paper highlights: because
+conditions (i)/(ii) inspect one state at a time, compliance checking is
+a reachability scan with a per-state predicate — no history, no cycle
+detection, no Büchi machinery.  The benchmark compares (a) building the
+product + invariant scan with (b) the per-state predicate cost alone,
+and asserts the invariant formulation equals language emptiness on the
+whole battery.
+"""
+
+from repro.contracts.contract import Contract
+from repro.contracts.product import build_product
+
+from workloads import (almost_compliant_server, wide_client, wide_server)
+
+PAIRS = [
+    (wide_client(2, 4), wide_server(2, 4)),
+    (wide_client(3, 3), wide_server(3, 3)),
+    (wide_client(3, 3), almost_compliant_server(3, 3)),
+    (wide_client(4, 2), almost_compliant_server(4, 2)),
+]
+
+
+def products():
+    return [build_product(Contract(c), Contract(s)) for c, s in PAIRS]
+
+
+def test_t2_product_construction(benchmark):
+    built = benchmark(products)
+    sizes = [len(product.lts) for product in built]
+    print(f"\nT2 — product sizes: {sizes}")
+    assert all(size >= 1 for size in sizes)
+
+
+def test_t2_invariant_scan_equals_emptiness(benchmark):
+    built = products()
+
+    def scan():
+        results = []
+        for product in built:
+            reachable = product.lts.reachable_from(product.initial)
+            invariant = not any(product.violates_invariant(state)
+                                for state in reachable)
+            results.append(invariant)
+        return results
+
+    invariant_verdicts = benchmark(scan)
+    emptiness_verdicts = [product.language_is_empty()
+                          for product in built]
+    print(f"T2 — invariant: {invariant_verdicts}")
+    print(f"T2 — emptiness: {emptiness_verdicts}")
+    assert invariant_verdicts == emptiness_verdicts
+    assert invariant_verdicts == [True, True, False, False]
+
+
+def test_t2_per_state_predicate_is_cheap(benchmark):
+    """The safety predicate needs only the state's enabled labels."""
+    product = products()[1]
+    states = list(product.lts.states)
+
+    def predicate_sweep():
+        return sum(product.violates_invariant(state) for state in states)
+
+    bad = benchmark(predicate_sweep)
+    assert bad == 0

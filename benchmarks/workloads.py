@@ -1,0 +1,119 @@
+"""Workload generators shared by the benchmark harness.
+
+The paper has no measured evaluation, so the scaling experiments (S1–S3)
+define synthetic families that stress each analysis along its natural
+size parameter: contract width/depth for the product automaton, fan-out
+and request count for plan synthesis, and policy count / trace length
+for validity checking.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import (EPSILON, Framing, HistoryExpression, Var,
+                               event, external, internal, mu, receive,
+                               request, send, seq)
+from repro.network.repository import Repository
+from repro.policies.library import at_most, never_after
+
+
+def wide_client(width: int, depth: int) -> HistoryExpression:
+    """A client protocol with *width* alternatives per round and *depth*
+    request/response rounds.
+
+    Each answer has a branch-specific acknowledgement, so contract states
+    grow Θ(width · depth) and the product explores width² pairings per
+    round rather than collapsing structurally-equal branches."""
+    term: HistoryExpression = EPSILON
+    for level in range(depth):
+        answers = tuple(
+            (f"ans_{level}_{i}", send(f"fin_{level}_{i}", term))
+            for i in range(width))
+        term = internal(*(
+            (f"msg_{level}_{i}", external(*answers))
+            for i in range(width)))
+    return term
+
+
+def wide_server(width: int, depth: int) -> HistoryExpression:
+    """The matching server for :func:`wide_client` (fully compliant)."""
+    term: HistoryExpression = EPSILON
+    for level in range(depth):
+        replies = tuple(
+            (f"ans_{level}_{i}", receive(f"fin_{level}_{i}", term))
+            for i in range(width))
+        term = external(*(
+            (f"msg_{level}_{i}", internal(*replies))
+            for i in range(width)))
+    return term
+
+
+def almost_compliant_server(width: int, depth: int) -> HistoryExpression:
+    """Like :func:`wide_server` but the deepest round sends one extra,
+    unhandled answer — non-compliance only detectable at full depth."""
+    term: HistoryExpression = EPSILON
+    for level in range(depth):
+        labels = [(f"ans_{level}_{i}", receive(f"fin_{level}_{i}", term))
+                  for i in range(width)]
+        if level == 0:
+            labels.append((f"surprise_{level}", EPSILON))
+        replies = tuple(labels)
+        term = external(*(
+            (f"msg_{level}_{i}", internal(*replies))
+            for i in range(width)))
+    return term
+
+
+def chain_client(requests: int) -> HistoryExpression:
+    """A client issuing *requests* sequential sessions (r0 … rN-1)."""
+    term: HistoryExpression = EPSILON
+    for index in reversed(range(requests)):
+        term = seq(request(f"r{index}", None,
+                           seq(send("go"), receive("done"))), term)
+    return term
+
+
+def worker_pool(services: int, defective_every: int = 0) -> Repository:
+    """*services* interchangeable workers; every *defective_every*-th one
+    (when non-zero) answers on the wrong channel, making it
+    non-compliant."""
+    pool = {}
+    for index in range(services):
+        if defective_every and index % defective_every == defective_every - 1:
+            pool[f"w{index}"] = receive("go", send("wrong"))
+        else:
+            pool[f"w{index}"] = receive("go", send("done"))
+    return Repository(pool)
+
+
+def policy_heavy_client(policies: int, events_per_policy: int
+                        ) -> HistoryExpression:
+    """A client whose single session stacks *policies* distinct framings,
+    each guarding a block of benign events — stresses the per-policy
+    runner bookkeeping of the validity checkers."""
+    body: HistoryExpression = seq(*(
+        event("tick", i) for i in range(events_per_policy)))
+    for index in range(policies):
+        body = Framing(at_most("boom", index + 1), body)
+    return request("r", never_after("alpha", "omega"),
+                   seq(send("go"), body, receive("done")))
+
+
+def long_trace_service(length: int) -> HistoryExpression:
+    """A service that fires *length* events before answering."""
+    return receive("go", seq(*(event("step", i) for i in range(length)),
+                             send("done")))
+
+
+def recursive_ticker(exit_channel: str = "stop") -> HistoryExpression:
+    """μk.(go.tick.k + stop): the recursive workhorse for long runs."""
+    return mu("k", external(
+        ("go", seq(event("tick"), send("ack", Var("k")))),
+        (exit_channel, EPSILON)))
+
+
+def pumping_client(rounds: int) -> HistoryExpression:
+    """Drives :func:`recursive_ticker` for *rounds* iterations."""
+    term: HistoryExpression = send("stop")
+    for _ in range(rounds):
+        term = send("go", receive("ack", term))
+    return request("r", at_most("tick", rounds), term)

@@ -1,0 +1,87 @@
+"""repro — Secure and Unfailing Services.
+
+A complete implementation of the formal theory of Basile, Degano and
+Ferrari, *Secure and Unfailing Services* (2013): history expressions with
+channel communication and sessions, usage-automata security policies,
+history validity, behavioural contracts, service compliance via product
+automata, network semantics with plans, and the static analysis that
+constructs *valid plans* — orchestrations under which neither security
+violations nor stuck communications can occur, so no run-time monitor is
+needed.
+
+Quickstart::
+
+    from repro import parse, Repository, verify_client
+    from repro.policies import never_after
+
+    phi = never_after("write", "read")
+    client = parse("open r with phi { !job . ?done }",
+                   policies={"phi": phi})
+    repo = Repository({"worker": parse("?job . { @write(1) ; !done }")})
+    verdict = verify_client(client, repo)
+    assert verdict.verified and str(verdict.plan.plan) == "r[worker]"
+
+See README.md for the full tour and DESIGN.md for the paper-to-module
+map.
+"""
+
+from repro.core.actions import Event, Receive, Send, Tau, TAU, co
+from repro.core.compliance import (ComplianceResult, check_compliance,
+                                   compliant, compliant_coinductive)
+from repro.core.plans import Plan, PlanVector
+from repro.core.duality import dual
+from repro.core.projection import project
+from repro.core.ready_sets import ready_sets
+from repro.core.semantics import enabled_labels, step, successors
+from repro.core.syntax import (EPSILON, Epsilon, EventNode, ExternalChoice,
+                               Framing, HistoryExpression, InternalChoice,
+                               Mu, Request, Seq, Var, event, external,
+                               framing, internal, mu, receive, request, send,
+                               seq)
+from repro.core.validity import (EMPTY_HISTORY, History, ValidityMonitor,
+                                 first_invalid_prefix, is_valid)
+from repro.core.wellformed import check_well_formed, is_well_formed
+from repro.contracts import Contract, build_product
+from repro.policies.usage_automata import Policy, UsageAutomaton
+from repro.network.config import Component, Configuration, Leaf, SessionNode
+from repro.network.explorer import explore, plan_is_valid_exhaustive
+from repro.network.repository import Repository
+from repro.network.simulator import Simulator
+from repro.analysis.planner import (analyze_plan, enumerate_plans,
+                                    find_valid_plans)
+from repro.analysis.verification import (NetworkVerdict, verify_client,
+                                         verify_network)
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # actions
+    "Event", "Receive", "Send", "Tau", "TAU", "co",
+    # syntax
+    "EPSILON", "Epsilon", "EventNode", "ExternalChoice", "Framing",
+    "HistoryExpression", "InternalChoice", "Mu", "Request", "Seq", "Var",
+    "event", "external", "framing", "internal", "mu", "receive", "request",
+    "send", "seq",
+    # semantics
+    "enabled_labels", "step", "successors",
+    # projection / ready sets / compliance
+    "dual", "project", "ready_sets", "ComplianceResult", "check_compliance",
+    "compliant", "compliant_coinductive", "Contract", "build_product",
+    # validity
+    "EMPTY_HISTORY", "History", "ValidityMonitor", "first_invalid_prefix",
+    "is_valid", "check_well_formed", "is_well_formed",
+    # policies
+    "Policy", "UsageAutomaton",
+    # plans & network
+    "Plan", "PlanVector", "Component", "Configuration", "Leaf",
+    "SessionNode", "Repository", "Simulator", "explore",
+    "plan_is_valid_exhaustive",
+    # analysis
+    "analyze_plan", "enumerate_plans", "find_valid_plans",
+    "NetworkVerdict", "verify_client", "verify_network",
+    # language
+    "parse", "pretty",
+    "__version__",
+]

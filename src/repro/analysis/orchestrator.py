@@ -1,0 +1,141 @@
+"""Whole-network orchestration under capacity constraints.
+
+:func:`repro.analysis.verification.verify_network` treats clients
+independently, which is exactly right under the paper's
+replicate-at-will assumption.  Once services declare capacities
+(:mod:`repro.analysis.capacity`), per-client choices interact: two
+clients may each have a valid plan that routes through the same
+capacity-1 service.  The orchestrator searches the *product* of the
+per-client valid-plan sets for a vector whose combined concurrent
+demand fits every capacity, backtracking over alternatives.
+
+Optionally a :class:`~repro.quantitative.costs.CostModel` prices the
+vectors, and the search returns the cheapest feasible one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.capacity import static_concurrent_demand
+from repro.analysis.planner import PlanAnalysis, find_valid_plans
+from repro.core.plans import PlanVector
+from repro.core.syntax import HistoryExpression
+from repro.network.repository import Repository
+
+
+@dataclass(frozen=True)
+class Orchestration:
+    """A feasible assignment of valid plans to all clients."""
+
+    locations: tuple[str, ...]
+    plans: tuple[PlanAnalysis, ...]
+    cost: float | None = None
+
+    def plan_vector(self) -> PlanVector:
+        """The vector ``~π`` in client order."""
+        return PlanVector(tuple(analysis.plan for analysis in self.plans))
+
+    def __str__(self) -> str:
+        parts = [f"{location}: {analysis.plan}"
+                 for location, analysis in zip(self.locations, self.plans)]
+        suffix = "" if self.cost is None else f"  (cost {self.cost:g})"
+        return "; ".join(parts) + suffix
+
+
+@dataclass(frozen=True)
+class OrchestrationResult:
+    """Outcome of the constrained search."""
+
+    orchestration: Orchestration | None
+    clients_without_plans: tuple[str, ...] = ()
+    vectors_tried: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.orchestration is not None
+
+
+def orchestrate(clients: Mapping[str, HistoryExpression],
+                repository: Repository,
+                capacities: Mapping[str, int | None] | None = None,
+                cost_model=None,
+                max_plans: int | None = None) -> OrchestrationResult:
+    """Find a capacity-feasible vector of valid plans for *clients*.
+
+    1. Synthesise each client's valid plans (Section 5, unchanged).
+    2. Backtrack over the product of the per-client choices, pruning as
+       soon as a partial vector oversubscribes some capacity (demand is
+       monotone in the set of chosen plans, so pruning is sound).
+    3. With a *cost_model*, explore every feasible vector and keep the
+       cheapest (worst-case session cost, summed over clients);
+       otherwise return the first feasible vector.
+    """
+    capacities = dict(capacities or {})
+    locations = tuple(clients)
+
+    candidate_sets: list[tuple[PlanAnalysis, ...]] = []
+    without: list[str] = []
+    for location, term in clients.items():
+        result = find_valid_plans(term, repository, location=location,
+                                  max_plans=max_plans)
+        if not result.valid_plans:
+            without.append(location)
+        candidate_sets.append(tuple(result.valid_plans))
+    if without:
+        return OrchestrationResult(None, tuple(without))
+
+    if cost_model is not None:
+        from repro.quantitative.planning import plan_cost
+        priced: list[tuple[tuple[PlanAnalysis, float], ...]] = []
+        for location, term, options in zip(locations, clients.values(),
+                                           candidate_sets):
+            priced.append(tuple(
+                (analysis, plan_cost(term, analysis.plan, repository,
+                                     cost_model, location))
+                for analysis in options))
+    else:
+        priced = [tuple((analysis, 0.0) for analysis in options)
+                  for options in candidate_sets]
+
+    constrained = {location: cap for location, cap in capacities.items()
+                   if cap is not None}
+
+    best: Orchestration | None = None
+    best_cost = float("inf")
+    tried = 0
+    terms = tuple(clients.values())
+
+    def demand_fits(chosen: list[tuple[PlanAnalysis, float]]) -> bool:
+        vector = [(terms[i], analysis.plan)
+                  for i, (analysis, _) in enumerate(chosen)]
+        for location, capacity in constrained.items():
+            if static_concurrent_demand(vector, repository,
+                                        location) > capacity:
+                return False
+        return True
+
+    def search(position: int, chosen: list, running_cost: float) -> None:
+        nonlocal best, best_cost, tried
+        if running_cost >= best_cost:
+            return
+        if position == len(priced):
+            tried += 1
+            candidate = Orchestration(
+                locations,
+                tuple(analysis for analysis, _ in chosen),
+                running_cost if cost_model is not None else None)
+            if running_cost < best_cost:
+                best, best_cost = candidate, running_cost
+            return
+        for analysis, cost in priced[position]:
+            chosen.append((analysis, cost))
+            if demand_fits(chosen):
+                search(position + 1, chosen, running_cost + cost)
+            chosen.pop()
+            if best is not None and cost_model is None:
+                return  # first feasible vector suffices
+
+    search(0, [], 0.0)
+    return OrchestrationResult(best, (), tried)

@@ -1,0 +1,212 @@
+"""Construction of valid plans (paper, Sections 4 and 5).
+
+"Our task … will be defining a static analysis that allows us to
+construct valid plans, only.  With such plans, neither violations of
+security, nor missing communications can occur, so there is no need for
+any execution monitor at run-time."
+
+The planner enumerates candidate plans for one client over a repository
+(resolving, transitively, the requests of the services a plan selects)
+and analyses each candidate with the paper's two static checks:
+
+* **compliance** — for each request ``open_{r,φ} H1 close_{r,φ}`` served
+  by ``ℓ2``, check ``H1 ⊢ H2`` with ``π(r) = ℓ2`` via the product
+  automaton of Definition 5 (Theorem 1);
+* **security** — model-check the assembled behaviour ``⟨Ĥ, π⟩`` for
+  validity (Section 3.1), via the session product and the abstract
+  monitor of :mod:`repro.analysis.security`.
+
+A plan passing both is *valid*; the exhaustive network explorer
+(:mod:`repro.network.explorer`) is the independent oracle the test suite
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.compliance import ComplianceResult, check_compliance
+from repro.core.errors import PlanError
+from repro.core.plans import Plan
+from repro.core.syntax import HistoryExpression
+from repro.analysis.requests import RequestInfo, extract_requests
+from repro.analysis.security import SecurityReport, check_security
+from repro.analysis.session_product import (assemble, deadlocked_trees)
+from repro.network.repository import Repository
+
+
+@dataclass(frozen=True)
+class ComplianceCheck:
+    """The compliance verdict for one served request."""
+
+    request: str
+    location: str
+    result: ComplianceResult
+
+    @property
+    def compliant(self) -> bool:
+        return self.result.compliant
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """Everything the static analysis determined about one plan."""
+
+    plan: Plan
+    compliance: tuple[ComplianceCheck, ...]
+    security: SecurityReport
+    unserved_requests: tuple[str, ...] = ()
+
+    @property
+    def compliant(self) -> bool:
+        """All served requests pair compliant contracts."""
+        return all(check.compliant for check in self.compliance)
+
+    @property
+    def secure(self) -> bool:
+        """The assembled behaviour never produces an invalid history."""
+        return self.security.secure
+
+    @property
+    def valid(self) -> bool:
+        """The paper's plan validity: complete, compliant and secure."""
+        return (not self.unserved_requests and self.compliant
+                and self.secure)
+
+    def explain(self) -> str:
+        """A human-readable verdict."""
+        if self.valid:
+            return f"plan {self.plan} is VALID"
+        reasons = []
+        if self.unserved_requests:
+            reasons.append("unserved requests: "
+                           + ", ".join(self.unserved_requests))
+        for check in self.compliance:
+            if not check.compliant:
+                reasons.append(
+                    f"request {check.request} -> {check.location}: "
+                    "contracts are not compliant")
+        if not self.secure:
+            policy = self.security.violated_policy
+            reasons.append(f"security violation of {policy} reachable")
+        return f"plan {self.plan} is INVALID ({'; '.join(reasons)})"
+
+
+def enumerate_plans(client: HistoryExpression,
+                    repository: Repository,
+                    candidates=None) -> Iterator[Plan]:
+    """All complete plans for *client* over *repository*.
+
+    Requests introduced by selected services are resolved transitively; a
+    request identifier already bound is not re-resolved (which also keeps
+    mutually-requesting services from looping).  *candidates* optionally
+    maps a request identifier to the locations allowed to serve it.
+    """
+
+    def options_for(info: RequestInfo) -> tuple[str, ...]:
+        if candidates is not None and info.request in candidates:
+            return tuple(candidates[info.request])
+        return repository.locations()
+
+    def resolve(queue: tuple[RequestInfo, ...],
+                plan: Plan) -> Iterator[Plan]:
+        position = 0
+        while position < len(queue):
+            if queue[position].request not in plan:
+                break
+            position += 1
+        else:
+            yield plan
+            return
+        info = queue[position]
+        rest = queue[position + 1:]
+        for location in options_for(info):
+            service = repository.get(location)
+            if service is None:
+                continue
+            try:
+                extended = plan.bind(info.request, location)
+            except PlanError:
+                continue
+            yield from resolve(rest + extract_requests(service), extended)
+
+    yield from resolve(extract_requests(client), Plan.empty())
+
+
+def analyze_plan(client: HistoryExpression, plan: Plan,
+                 repository: Repository,
+                 location: str = "client") -> PlanAnalysis:
+    """Run both static checks on one candidate plan."""
+    compliance: list[ComplianceCheck] = []
+    unserved: list[str] = []
+    seen_requests: set[str] = set()
+
+    queue = list(extract_requests(client))
+    while queue:
+        info = queue.pop(0)
+        if info.request in seen_requests:
+            continue
+        seen_requests.add(info.request)
+        target = plan.lookup(info.request)
+        if target is None or target not in repository:
+            unserved.append(info.request)
+            continue
+        service = repository[target]
+        compliance.append(ComplianceCheck(
+            info.request, target, check_compliance(info.body, service)))
+        queue.extend(extract_requests(service))
+
+    lts = assemble(client, plan, repository, location)
+    security = check_security(lts)
+    return PlanAnalysis(plan, tuple(compliance), security,
+                        tuple(unserved))
+
+
+@dataclass
+class PlannerResult:
+    """The outcome of a full planning pass for one client."""
+
+    valid_plans: list[PlanAnalysis] = field(default_factory=list)
+    invalid_plans: list[PlanAnalysis] = field(default_factory=list)
+
+    @property
+    def has_valid_plan(self) -> bool:
+        return bool(self.valid_plans)
+
+    def best(self) -> PlanAnalysis | None:
+        """Some valid plan (the first found), or ``None``."""
+        return self.valid_plans[0] if self.valid_plans else None
+
+
+def find_valid_plans(client: HistoryExpression, repository: Repository,
+                     candidates=None, location: str = "client",
+                     max_plans: int | None = None) -> PlannerResult:
+    """Enumerate and analyse plans for *client*, separating the valid
+    ones — the viable orchestrations of Section 5.
+
+    *max_plans* bounds the number of candidates analysed (``None`` for
+    all)."""
+    result = PlannerResult()
+    for count, plan in enumerate(enumerate_plans(client, repository,
+                                                 candidates)):
+        if max_plans is not None and count >= max_plans:
+            break
+        analysis = analyze_plan(client, plan, repository, location)
+        if analysis.valid:
+            result.valid_plans.append(analysis)
+        else:
+            result.invalid_plans.append(analysis)
+    return result
+
+
+def unfailing_in_product(client: HistoryExpression, plan: Plan,
+                         repository: Repository,
+                         location: str = "client") -> bool:
+    """Whole-system progress check on the assembled LTS: no reachable
+    deadlocked, non-terminated session tree.
+
+    For complete plans this agrees with per-request compliance; the test
+    suite cross-validates the two."""
+    lts = assemble(client, plan, repository, location)
+    return not deadlocked_trees(lts)

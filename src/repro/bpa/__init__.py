@@ -1,0 +1,15 @@
+"""Basic Process Algebra substrate (Section 3.1; refs [4, 5]).
+
+History expressions are rendered as BPA processes; the regularisation
+transform removes the context-free aspects introduced by nested policy
+framings, after which validity is model-checkable with finite-state
+framed automata.
+"""
+
+from repro.bpa.modelcheck import check_validity_bpa
+from repro.bpa.process import BPAProcess, BPASystem
+from repro.bpa.regularize import regularize
+from repro.bpa.translate import to_bpa
+
+__all__ = ["check_validity_bpa", "BPAProcess", "BPASystem", "regularize",
+           "to_bpa"]

@@ -1,0 +1,85 @@
+"""Framing regularisation (Section 3.1; refs [4, 5]).
+
+"Because of the possible nesting of security framings, validity of
+history expressions is a non-regular property … a semantic-preserving
+transformation is presented, that removes the context-free aspects due to
+policy nesting: it suffices recording the opening of policies, and
+removing those already opened and their corresponding closures, in a
+stack-like fashion."
+
+:func:`regularize` rewrites a history expression so that no framing for a
+policy ``φ`` ever occurs inside another framing of the *same* ``φ``:
+``φ[H·φ[H']·H''] ⇒ φ[H·H'·H'']``.  This preserves validity — whether
+``φ ∈ AP(η0)`` for a prefix ``η0`` only depends on the activation count
+being positive, and the transformation never changes positivity — and
+bounds each policy's activation at 1, so validity becomes checkable by a
+finite product with the *framed* automata of
+:mod:`repro.bpa.modelcheck`.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import (ClosePending, Epsilon, EventNode,
+                               ExternalChoice, FrameClosePending, Framing,
+                               HistoryExpression, InternalChoice, Mu, Request,
+                               Seq, Var, seq)
+
+
+def regularize(term: HistoryExpression,
+               active: frozenset = frozenset()) -> HistoryExpression:
+    """Remove redundant nested framings of already-active policies.
+
+    *active* is the set of policies whose framing is open around *term*
+    (callers normally leave it empty).
+    """
+    if isinstance(term, (Epsilon, Var, EventNode, ClosePending,
+                         FrameClosePending)):
+        return term
+    if isinstance(term, Seq):
+        return seq(regularize(term.first, active),
+                   regularize(term.second, active))
+    if isinstance(term, ExternalChoice):
+        return ExternalChoice(tuple(
+            (label, regularize(cont, active))
+            for label, cont in term.branches))
+    if isinstance(term, InternalChoice):
+        return InternalChoice(tuple(
+            (label, regularize(cont, active))
+            for label, cont in term.branches))
+    if isinstance(term, Request):
+        # The policy of a request frames the *session*, not this term's
+        # own history; nested framings inside the body are handled
+        # independently.
+        return Request(term.request, term.policy,
+                       regularize(term.body, active))
+    if isinstance(term, Framing):
+        if term.policy in active:
+            return regularize(term.body, active)
+        return Framing(term.policy,
+                       regularize(term.body, active | {term.policy}))
+    if isinstance(term, Mu):
+        # Tail recursion cannot carry an open framing across iterations
+        # (a framed body would put the variable in non-tail position), so
+        # the active set distributes unchanged.
+        return Mu(term.var, regularize(term.body, active))
+    raise TypeError(f"unknown history expression node {term!r}")
+
+
+def max_framing_depth(term: HistoryExpression) -> int:
+    """The maximal syntactic nesting depth of *same-policy* framings.
+
+    After :func:`regularize` this is at most 1 for every policy; exposed
+    for the tests that check exactly that.
+    """
+
+    def depth(node: HistoryExpression, active: tuple) -> int:
+        if isinstance(node, Framing):
+            count = active.count(node.policy) + 1
+            inner = depth(node.body, active + (node.policy,))
+            return max(count, inner)
+        best = 0
+        for child in node.children():
+            best = max(best, depth(child, active))
+        return best
+
+    return depth(term, ())

@@ -1,0 +1,91 @@
+"""Translation of history expressions into BPA (Section 3.1; ref. [4]).
+
+The translation is label-preserving: the transition system of ``to_bpa(H)``
+is strongly bisimilar to the transition system of ``H`` under the
+stand-alone semantics (the test suite checks this with partition
+refinement).  Recursion ``μh.H`` becomes a process definition
+``X_h ≜ T(H)``; framings and session open/close become atomic actions, so
+the BPA traces are exactly the label sequences of ``H``.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (FrameClose, FrameOpen, SessionClose,
+                                SessionOpen)
+from repro.core.syntax import (ClosePending, Epsilon, EventNode,
+                               ExternalChoice, FrameClosePending, Framing,
+                               HistoryExpression, InternalChoice, Mu, Request,
+                               Seq, Var)
+from repro.bpa.process import (BPAAction, BPAProcess, BPASystem, BPAVar,
+                               ZERO, bpa_choice, bpa_seq)
+
+
+def to_bpa(term: HistoryExpression) -> BPASystem:
+    """Render *term* as a BPA system."""
+    definitions: list[tuple[str, BPAProcess]] = []
+    used_names: set[str] = set()
+    root = _translate(term, definitions, used_names)
+    return BPASystem(root, tuple(definitions))
+
+
+def _translate(term: HistoryExpression,
+               definitions: list[tuple[str, BPAProcess]],
+               used_names: set[str]) -> BPAProcess:
+    if isinstance(term, Epsilon):
+        return ZERO
+    if isinstance(term, Var):
+        return BPAVar(term.name)
+    if isinstance(term, EventNode):
+        return BPAAction(term.event)
+    if isinstance(term, Seq):
+        return bpa_seq(_translate(term.first, definitions, used_names),
+                       _translate(term.second, definitions, used_names))
+    if isinstance(term, ExternalChoice):
+        return bpa_choice(*(
+            bpa_seq(BPAAction(label),
+                    _translate(cont, definitions, used_names))
+            for label, cont in term.branches))
+    if isinstance(term, InternalChoice):
+        return bpa_choice(*(
+            bpa_seq(BPAAction(label),
+                    _translate(cont, definitions, used_names))
+            for label, cont in term.branches))
+    if isinstance(term, Request):
+        body = _translate(term.body, definitions, used_names)
+        return bpa_seq(
+            BPAAction(SessionOpen(term.request, term.policy)),
+            bpa_seq(body,
+                    BPAAction(SessionClose(term.request, term.policy))))
+    if isinstance(term, ClosePending):
+        return BPAAction(SessionClose(term.request, term.policy))
+    if isinstance(term, Framing):
+        body = _translate(term.body, definitions, used_names)
+        return bpa_seq(BPAAction(FrameOpen(term.policy)),
+                       bpa_seq(body, BPAAction(FrameClose(term.policy))))
+    if isinstance(term, FrameClosePending):
+        return BPAAction(FrameClose(term.policy))
+    if isinstance(term, Mu):
+        name = _fresh(f"X_{term.var}", used_names)
+        used_names.add(name)
+        body = _translate(
+            _rename_var(term.body, term.var, name), definitions, used_names)
+        definitions.append((name, body))
+        return BPAVar(name)
+    raise TypeError(f"unknown history expression node {term!r}")
+
+
+def _fresh(base: str, used: set[str]) -> str:
+    candidate = base
+    counter = 0
+    while candidate in used:
+        counter += 1
+        candidate = f"{base}_{counter}"
+    return candidate
+
+
+def _rename_var(term: HistoryExpression, old: str,
+                new: str) -> HistoryExpression:
+    """Rename the free recursion variable *old* to *new* (BPA definition
+    names live in their own namespace, so freshness is enough)."""
+    from repro.core.syntax import substitute
+    return substitute(term, old, Var(new))

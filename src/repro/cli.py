@@ -1,0 +1,268 @@
+"""Command-line driver.
+
+Networks are described in TOML::
+
+    [policies.phi]
+    schema = "hotel"                      # a schema from the registry
+    args = { bl = [1], p = 45, t = 100 }
+
+    [services.lbr]
+    term = "?Req . open r3 { !IdC . (?Bok + ?UnA) } ; (!CoBo . ?Pay ++ !NoAv)"
+
+    [clients.lc1]
+    term = "open r1 with phi { !Req . (?CoBo . !Pay + ?NoAv) }"
+
+Networks can equivalently be written in the surface-language module
+format (``.sus`` files; see :mod:`repro.lang.module`).
+
+Commands::
+
+    repro check NETWORK.{toml,sus}        # parse + well-formedness
+    repro verify NETWORK.toml             # plan synthesis (Section 5)
+    repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
+    repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
+    repro explain NETWORK.toml CLIENT     # narrate each candidate plan
+    repro dot NETWORK.toml NAME           # policy automaton / contract dot
+
+Exit status: 0 on success/verified, 1 on a negative verdict, 2 on usage
+or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tomllib
+from pathlib import Path
+
+from repro.core.compliance import check_compliance
+from repro.core.errors import ReproError
+from repro.core.syntax import HistoryExpression
+from repro.core.wellformed import check_well_formed
+from repro.analysis.requests import extract_requests
+from repro.analysis.verification import verify_network
+from repro.lang.parser import parse
+from repro.network.config import Component, Configuration
+from repro.network.repository import Repository
+from repro.network.simulator import Simulator
+from repro.policies import library
+from repro.policies.usage_automata import Policy
+
+#: Registry of policy schemas available to TOML files: name → callable
+#: returning a parametric automaton (instantiated with the TOML args).
+SCHEMAS = {
+    "hotel": lambda: library.hotel_policy_automaton(),
+    "never_after": library.never_after_automaton,
+    "forbid": library.forbid_automaton,
+    "blacklist": library.blacklist_automaton,
+    "at_most": library.at_most_automaton,
+    "require_before": library.require_before_automaton,
+    "chinese_wall": library.chinese_wall_automaton,
+}
+
+
+class NetworkFile:
+    """A parsed network description."""
+
+    def __init__(self, policies: dict[str, Policy],
+                 services: dict[str, HistoryExpression],
+                 clients: dict[str, HistoryExpression]) -> None:
+        self.policies = policies
+        self.services = services
+        self.clients = clients
+
+    @property
+    def repository(self) -> Repository:
+        return Repository(self.services)
+
+    def term(self, name: str) -> HistoryExpression:
+        """Look up a client or service by location name."""
+        if name in self.clients:
+            return self.clients[name]
+        if name in self.services:
+            return self.services[name]
+        raise ReproError(f"no client or service named {name!r}")
+
+
+def load_network(path: str | Path) -> NetworkFile:
+    """Parse a network description: TOML, or the surface-language module
+    format (any non-``.toml`` extension, conventionally ``.sus``)."""
+    if Path(path).suffix != ".toml":
+        from repro.lang.module import parse_module
+        with open(path, "r", encoding="utf-8") as handle:
+            module = parse_module(handle.read())
+        return NetworkFile(module.policies, module.services,
+                           module.clients)
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+
+    policies: dict[str, Policy] = {}
+    for name, spec in data.get("policies", {}).items():
+        schema_name = spec.get("schema")
+        if schema_name not in SCHEMAS:
+            raise ReproError(
+                f"policy {name!r}: unknown schema {schema_name!r} "
+                f"(known: {', '.join(sorted(SCHEMAS))})")
+        factory = SCHEMAS[schema_name]
+        ctor_args = spec.get("schema_args", [])
+        automaton = factory(*ctor_args)
+        instantiation = spec.get("args", {})
+        policies[name] = automaton.instantiate(**instantiation)
+
+    def parse_section(section: str) -> dict[str, HistoryExpression]:
+        terms: dict[str, HistoryExpression] = {}
+        for name, spec in data.get(section, {}).items():
+            terms[name] = parse(spec["term"], policies=policies)
+        return terms
+
+    return NetworkFile(policies, parse_section("services"),
+                       parse_section("clients"))
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    for name, term in {**network.clients, **network.services}.items():
+        check_well_formed(term)
+        print(f"{name}: well formed")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    verdict = verify_network(network.clients, network.repository,
+                             max_plans=args.max_plans)
+    print(verdict.report())
+    return 0 if verdict.verified else 1
+
+
+def _cmd_compliance(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    client = network.term(args.client)
+    server = network.term(args.server)
+    requests = extract_requests(client)
+    body = requests[0].body if requests else client
+    result = check_compliance(body, server)
+    if result.compliant:
+        print(f"{args.client} ⊢ {args.server}: compliant")
+        return 0
+    print(f"{args.client} ⊬ {args.server}: NOT compliant")
+    if result.trace:
+        print(f"  stuck after {len(result.trace) - 1} synchronisations")
+    return 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    verdict = verify_network(network.clients, network.repository,
+                             max_plans=args.max_plans)
+    if not verdict.verified:
+        print(verdict.report())
+        return 1
+    plans = verdict.plan_vector()
+    configuration = Configuration.of(*(
+        Component.client(location, term)
+        for location, term in network.clients.items()))
+    simulator = Simulator(configuration, plans, network.repository,
+                          monitored=not args.unmonitored, seed=args.seed)
+    simulator.run(max_steps=args.max_steps)
+    if args.trace:
+        from repro.network.trace_render import render_run
+        print(render_run(simulator))
+    for index, (location, _) in enumerate(network.clients.items()):
+        history = simulator.configuration[index].history
+        print(f"{location}: {history}")
+    print(f"ran {len(simulator.log)} steps under ~π = {plans}; "
+          f"terminated: {simulator.is_terminated()}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import explain_plan
+    from repro.analysis.planner import analyze_plan, enumerate_plans
+    network = load_network(args.network)
+    if args.client not in network.clients:
+        raise ReproError(f"no client named {args.client!r}")
+    client = network.clients[args.client]
+    repository = network.repository
+    any_valid = False
+    for plan in enumerate_plans(client, repository):
+        analysis = analyze_plan(client, plan, repository,
+                                location=args.client)
+        any_valid = any_valid or analysis.valid
+        print(explain_plan(analysis))
+        print()
+    return 0 if any_valid else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    if args.name in network.policies:
+        print(network.policies[args.name].automaton.to_dot())
+        return 0
+    from repro.contracts.contract import Contract
+    term = network.term(args.name)
+    print(Contract(term).lts.to_dot(name=args.name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure and Unfailing Services — verification toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and validate a network")
+    check.add_argument("network")
+    check.set_defaults(func=_cmd_check)
+
+    verify = sub.add_parser("verify", help="synthesise valid plans")
+    verify.add_argument("network")
+    verify.add_argument("--max-plans", type=int, default=None)
+    verify.set_defaults(func=_cmd_verify)
+
+    compliance = sub.add_parser("compliance",
+                                help="check one client/service pair")
+    compliance.add_argument("network")
+    compliance.add_argument("client")
+    compliance.add_argument("server")
+    compliance.set_defaults(func=_cmd_compliance)
+
+    simulate = sub.add_parser("simulate",
+                              help="verify, then run one computation")
+    simulate.add_argument("network")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--max-steps", type=int, default=10_000)
+    simulate.add_argument("--max-plans", type=int, default=None)
+    simulate.add_argument("--unmonitored", action="store_true")
+    simulate.add_argument("--trace", action="store_true",
+                          help="print the Figure-3-style step trace")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    explain = sub.add_parser(
+        "explain", help="narrate why each candidate plan is (in)valid")
+    explain.add_argument("network")
+    explain.add_argument("client")
+    explain.set_defaults(func=_cmd_explain)
+
+    dot = sub.add_parser("dot", help="Graphviz output for a policy or "
+                                     "contract")
+    dot.add_argument("network")
+    dot.add_argument("name")
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The product automaton of two contracts (paper, Definition 5).
+
+The product ``H1 ⊗ H2`` models the composition of two contracts: its only
+transitions are synchronisations (label ``τ``), and its *final* states are
+the stuck configurations.  A state ``⟨H1, H2⟩`` with ``H1 ≠ ε`` is final
+when it violates either of:
+
+(i)  some output is enabled: ``∃ā. H1 --ā--> ∨ H2 --ā-->``
+     (both participants waiting on inputs is a deadlock);
+(ii) every enabled output of one participant is matched by an enabled
+     input of the other, in both directions.
+
+Theorem 1: ``H1 ⊢ H2`` iff the language of ``H1 ⊗ H2`` is empty, i.e. no
+final state is reachable.  Theorem 2 observes that conditions (i) and (ii)
+only inspect the current state, making compliance an *invariant* — hence a
+safety — property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.actions import TAU, Tau, co, is_input, is_output
+from repro.core.semantics import is_terminated
+from repro.core.syntax import HistoryExpression
+from repro.contracts.contract import Contract
+from repro.contracts.lts import LTS, build_lts
+
+#: A product state ``⟨H1, H2⟩``.
+PairState = tuple[HistoryExpression, HistoryExpression]
+
+
+@dataclass(frozen=True)
+class ProductAutomaton:
+    """The explicit product automaton ``H1 ⊗ H2`` of Definition 5."""
+
+    client: Contract
+    server: Contract
+    lts: LTS[PairState, Tau]
+    final_states: frozenset[PairState]
+
+    @property
+    def initial(self) -> PairState:
+        """The initial state ``⟨H1, H2⟩``."""
+        return self.lts.initial
+
+    @cached_property
+    def reachable_final_states(self) -> frozenset[PairState]:
+        """Final (stuck) states reachable from the initial state."""
+        return frozenset(self.lts.reachable_from(self.initial)
+                         & self.final_states)
+
+    def language_is_empty(self) -> bool:
+        """``L(H1 ⊗ H2) = ∅`` — no reachable final state (Theorem 1)."""
+        return not self.reachable_final_states
+
+    def counterexample(self) -> tuple[PairState, ...] | None:
+        """A shortest path of product states leading to a stuck state, or
+        ``None`` when the contracts are compliant.
+
+        The returned tuple starts at the initial state and ends at a final
+        state; consecutive states are related by one synchronisation.
+        """
+        path = self.lts.path_to(lambda s: s in self.final_states)
+        if path is None:
+            return None
+        return (self.initial,) + tuple(state for _, state in path)
+
+    def violates_invariant(self, state: PairState) -> bool:
+        """The per-state check of Theorem 2: ``state ⊨ Φ`` fails.
+
+        ``Φ`` is the invariant ``H1 = ε ∨ ((i) ∧ (ii))``; compliance holds
+        iff every reachable state satisfies ``Φ``.
+        """
+        return state in self.final_states
+
+
+def build_product(client: Contract, server: Contract) -> ProductAutomaton:
+    """Construct the product automaton ``client ⊗ server``.
+
+    Both component transition systems are finite (projection of guarded
+    tail-recursive terms), so the product is finite as well.
+    """
+    client_lts = client.lts
+    server_lts = server.lts
+
+    def is_final(state: PairState) -> bool:
+        h1, h2 = state
+        if is_terminated(h1):
+            return False
+        labels1 = client_lts.labels_from(h1)
+        labels2 = server_lts.labels_from(h2)
+        outputs1 = {label for label in labels1 if is_output(label)}
+        outputs2 = {label for label in labels2 if is_output(label)}
+        inputs1 = {label for label in labels1 if is_input(label)}
+        inputs2 = {label for label in labels2 if is_input(label)}
+        some_output = bool(outputs1 or outputs2)
+        if not some_output:                               # ¬(i)
+            return True
+        matched = (all(co(out) in inputs2 for out in outputs1)
+                   and all(co(out) in inputs1 for out in outputs2))
+        return not matched                                # ¬(ii)
+
+    def successors(state: PairState):
+        if is_final(state):
+            # Definition 5 cuts transitions out of final states.
+            return
+        h1, h2 = state
+        for label in client_lts.labels_from(h1):
+            if not (is_output(label) or is_input(label)):
+                continue
+            partner = co(label)
+            for h1_next in client_lts.successors(h1, label):
+                for h2_next in server_lts.successors(h2, partner):
+                    yield TAU, (h1_next, h2_next)
+
+    lts = build_lts((client.term, server.term), successors)
+    final = frozenset(state for state in lts.states if is_final(state))
+    return ProductAutomaton(client, server, lts, final)

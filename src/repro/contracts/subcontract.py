@@ -1,0 +1,182 @@
+"""The subcontract (server-substitutability) preorder.
+
+The paper builds on the contract theory of Castagna, Gesbert and
+Padovani [12], whose central tool beyond compliance is the *subcontract*
+preorder: ``H1 ⊑ H2`` when every client compliant with server ``H1`` is
+also compliant with server ``H2`` — so a service advertising contract
+``H1`` can be transparently replaced (or discovered through) one
+implementing ``H2``.  The paper itself uses only compliance; the
+preorder is the natural extension enabling contract-based *discovery*,
+exposed to the planner via :func:`substitutable_services`.
+
+For the contracts of this calculus the relation has a finite
+characterisation over pairs of *meet states* — the sets of contract
+states a client may have to face after one interaction sequence, which
+it must handle like an internal choice of the members:
+
+* a pair is **vacuous** (trivially related) when only the terminated
+  client ``ε`` complies with the left meet: some ready set is empty, or
+  the ready sets mix waiting and sending so no homogeneous client choice
+  can answer all of them;
+* otherwise the pair must satisfy the **ready-set condition**: every
+  ready set of the right meet contains a ready set of the left meet
+  (fewer internal-choice surprises, more external-choice acceptance);
+* exploration continues along exactly the *client-realizable* actions —
+  the outputs the right server may emit (the client must be listening
+  for them) and the inputs present in **every** left ready set (the only
+  ones a compliant client may ever send).
+
+``H1 ⊑ H2`` holds iff no reachable pair violates the ready-set
+condition.  Soundness is hammered by the property-based suite; exactness
+is checked by bounded exhaustive quantification over all small clients
+in the unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Receive, is_input, is_output
+from repro.core.ready_sets import ReadySet, ready_sets
+from repro.core.syntax import HistoryExpression
+from repro.contracts.contract import Contract
+
+#: A meet state: the set of contract states a client must handle at once.
+MeetState = frozenset[HistoryExpression]
+
+
+def subcontract(smaller: HistoryExpression | Contract,
+                larger: HistoryExpression | Contract) -> bool:
+    """Decide ``smaller ⊑ larger`` (server substitutability)."""
+    return _find_violation(smaller, larger) is None
+
+
+def refine_violation(smaller: HistoryExpression | Contract,
+                     larger: HistoryExpression | Contract
+                     ) -> tuple[tuple, ...] | None:
+    """A witness that ``smaller ⊑ larger`` fails: the action path leading
+    to the offending meet pair (``None`` when the refinement holds)."""
+    return _find_violation(smaller, larger)
+
+
+def _find_violation(smaller, larger):
+    lhs = smaller if isinstance(smaller, Contract) else Contract(smaller)
+    rhs = larger if isinstance(larger, Contract) else Contract(larger)
+
+    initial = (frozenset({lhs.term}), frozenset({rhs.term}))
+    seen = {initial}
+    frontier: list[tuple[tuple[MeetState, MeetState], tuple]] = [
+        (initial, ())]
+
+    while frontier:
+        (m1, m2), path = frontier.pop()
+        rs1 = _meet_ready_sets(m1)
+        if _only_epsilon_complies(rs1):
+            continue
+        rs2 = _meet_ready_sets(m2)
+        if not _ready_set_condition(rs1, rs2):
+            return path
+        for action in _client_realizable(lhs, rhs, m1, m2, rs1):
+            next1 = _meet_successor(lhs, m1, action)
+            next2 = _meet_successor(rhs, m2, action)
+            if not next2:
+                # The right server cannot follow an action the client may
+                # take: under the ready-set condition this cannot happen,
+                # but guard against it as a violation.
+                return path + (action,)
+            pair = (next1, next2)
+            if pair not in seen:
+                seen.add(pair)
+                frontier.append((pair, path + (action,)))
+    return None
+
+
+def _meet_ready_sets(meet: MeetState) -> frozenset[ReadySet]:
+    """Ready sets of a meet state: the union over its members."""
+    sets: set[ReadySet] = set()
+    for state in meet:
+        sets |= ready_sets(state)
+    return frozenset(sets)
+
+
+def _only_epsilon_complies(rs1: frozenset[ReadySet]) -> bool:
+    """True when no client with a non-empty ready set can satisfy every
+    ready set of the left meet — so only ``ε`` complies and the pair is
+    vacuously related.
+
+    This happens when some ready set is empty (the server may stop dead:
+    any waiting client deadlocks) or when the ready sets mix waiting and
+    sending modes (a client choice is homogeneous: it cannot both listen
+    for one member's output and feed another member's input).
+    """
+    if frozenset() in rs1:
+        return True
+    has_inputs = any(any(is_input(a) for a in s) for s in rs1)
+    has_outputs = any(any(is_output(a) for a in s) for s in rs1)
+    return has_inputs and has_outputs
+
+
+def _ready_set_condition(rs1: frozenset[ReadySet],
+                         rs2: frozenset[ReadySet]) -> bool:
+    """Every right ready set contains a left ready set."""
+    for s2 in rs2:
+        if not any(s1 <= s2 for s1 in rs1):
+            return False
+    return True
+
+
+def _client_realizable(lhs: Contract, rhs: Contract, m1: MeetState,
+                       m2: MeetState, rs1: frozenset[ReadySet]):
+    """The actions a client compliant with the left meet may exchange
+    with the right server.
+
+    Actions are yielded as *server-side* labels (the same on both sides):
+
+    * ``Send`` labels — the right server's possible outputs, which the
+      client receives (under the ready-set condition these are also left
+      outputs, so the client is obliged to be listening for them);
+    * ``Receive`` labels — server inputs occurring in **every** left
+      ready set: a client output ready set ``{ā}`` must intersect the
+      co-set of each server ready set, so ``a`` must be universally
+      offered before the client may send it.
+    """
+    outputs2 = {label for state in m2
+                for label in rhs.lts.labels_from(state)
+                if is_output(label)}
+    yield from outputs2
+
+    if rs1 and all(all(is_input(a) for a in s) for s in rs1):
+        common = None
+        for s in rs1:
+            common = s if common is None else (common & s)
+        for label in common or frozenset():
+            assert isinstance(label, Receive)
+            yield label
+
+
+def _meet_successor(contract: Contract, meet: MeetState,
+                    label) -> MeetState:
+    """The meet of all states reachable from *meet* members via the
+    server-side *label*."""
+    targets: set[HistoryExpression] = set()
+    for state in meet:
+        if label in contract.lts.labels_from(state):
+            targets |= contract.lts.successors(state, label)
+    return frozenset(targets)
+
+
+def equivalent(a: HistoryExpression | Contract,
+               b: HistoryExpression | Contract) -> bool:
+    """Contract equivalence: refinement in both directions."""
+    return subcontract(a, b) and subcontract(b, a)
+
+
+def substitutable_services(advertised: HistoryExpression | Contract,
+                           repository) -> tuple[str, ...]:
+    """Locations in *repository* whose contract refines *advertised* —
+    contract-based service discovery: any of them can serve a client
+    that was verified (for compliance) against the advertised
+    contract."""
+    results = []
+    for location, term in repository.items():
+        if subcontract(advertised, term):
+            results.append(location)
+    return tuple(results)

@@ -1,0 +1,25 @@
+"""The calculus core: history expressions, semantics, compliance, validity.
+
+This package implements Definition 1 (syntax), the stand-alone
+operational semantics, the projection on communication actions, ready
+sets (Definition 3), compliance (Definition 4 / Theorem 1), history
+validity, and plans (Definition 2).
+"""
+
+from repro.core import actions, syntax
+from repro.core.compliance import (ComplianceResult, check_compliance,
+                                   compliant, compliant_coinductive)
+from repro.core.plans import Plan, PlanVector
+from repro.core.projection import project
+from repro.core.ready_sets import ready_sets
+from repro.core.validity import (EMPTY_HISTORY, History, ValidityMonitor,
+                                 first_invalid_prefix, is_valid)
+from repro.core.wellformed import check_well_formed, is_well_formed
+
+__all__ = [
+    "actions", "syntax", "ComplianceResult", "check_compliance",
+    "compliant", "compliant_coinductive", "Plan", "PlanVector", "project",
+    "ready_sets", "EMPTY_HISTORY", "History", "ValidityMonitor",
+    "first_invalid_prefix", "is_valid", "check_well_formed",
+    "is_well_formed",
+]

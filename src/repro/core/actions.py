@@ -1,0 +1,183 @@
+"""Actions of the calculus: events, communications, and framings.
+
+The paper (Section 3) fixes three alphabets:
+
+* access events ``α ∈ Ev``, possibly carrying parameters — e.g. the hotel
+  example uses ``αsgn(1)``, ``αp(45)``, ``αta(80)``;
+* communication actions
+  ``Comm = {a, ā, τ, open_{r,φ}, close_{r,φ}}`` with the usual involution
+  ``ā̄ = a``;
+* framing actions ``Frm = {Lφ, Mφ | φ ∈ Pol}`` recording the opening and
+  closing of a policy framing in execution histories.
+
+``Act = Ev ∪ Comm`` and transition labels range over
+``λ ∈ Comm ∪ Ev ∪ Frm``.
+
+All action classes are immutable value objects; they are hashable and
+therefore usable as LTS labels, dictionary keys and members of ready sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Types allowed as parameters of an access event.
+Param = Union[int, float, str, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An access event ``α_name(p1, …, pk)``.
+
+    Events are the security-relevant operations; they are appended to the
+    execution history and checked against the active policies.
+    """
+
+    name: str
+    params: tuple[Param, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.params:
+            return f"@{self.name}"
+        inner = ",".join(str(p) for p in self.params)
+        return f"@{self.name}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """An output action ``ā`` on channel ``channel`` (overbar in the paper)."""
+
+    channel: str
+
+    def __str__(self) -> str:
+        return f"!{self.channel}"
+
+
+@dataclass(frozen=True, slots=True)
+class Receive:
+    """An input action ``a`` on channel ``channel``."""
+
+    channel: str
+
+    def __str__(self) -> str:
+        return f"?{self.channel}"
+
+
+@dataclass(frozen=True, slots=True)
+class Tau:
+    """The internal action ``τ`` produced by a synchronisation."""
+
+    def __str__(self) -> str:
+        return "tau"
+
+
+#: The unique internal action.
+TAU = Tau()
+
+
+@dataclass(frozen=True, slots=True)
+class SessionOpen:
+    """The session-opening action ``open_{r,φ}``.
+
+    ``request`` is the unique request identifier ``r`` and ``policy`` the
+    policy ``φ`` that the client imposes on the whole session (``None``
+    stands for the empty policy ``∅`` of the paper).
+    """
+
+    request: str
+    policy: object | None = None
+
+    def __str__(self) -> str:
+        pol = self.policy if self.policy is not None else "0"
+        return f"open<{self.request},{pol}>"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionClose:
+    """The session-closing action ``close_{r,φ}`` matching a
+    :class:`SessionOpen` with the same request identifier and policy."""
+
+    request: str
+    policy: object | None = None
+
+    def __str__(self) -> str:
+        pol = self.policy if self.policy is not None else "0"
+        return f"close<{self.request},{pol}>"
+
+
+@dataclass(frozen=True, slots=True)
+class FrameOpen:
+    """The framing action ``Lφ``: policy ``φ`` becomes active."""
+
+    policy: object
+
+    def __str__(self) -> str:
+        return f"[{self.policy}"
+
+
+@dataclass(frozen=True, slots=True)
+class FrameClose:
+    """The framing action ``Mφ``: one activation of ``φ`` ends."""
+
+    policy: object
+
+    def __str__(self) -> str:
+        return f"]{self.policy}"
+
+
+#: Communication actions ``Comm`` (paper, Section 3).
+CommAction = Union[Send, Receive, Tau, SessionOpen, SessionClose]
+
+#: Framing actions ``Frm``.
+FramingAction = Union[FrameOpen, FrameClose]
+
+#: Transition labels ``λ ∈ Comm ∪ Ev ∪ Frm``.
+Label = Union[Event, CommAction, FramingAction]
+
+#: Labels that may appear in an execution history ``η ∈ (Ev ∪ Frm)*``.
+HistoryLabel = Union[Event, FrameOpen, FrameClose]
+
+
+def co(action: Label) -> Label:
+    """Return the co-action: ``co(ā) = a`` and ``co(a) = ā``.
+
+    Only :class:`Send` and :class:`Receive` have co-actions; any other
+    action raises :class:`ValueError`.
+    """
+    if isinstance(action, Send):
+        return Receive(action.channel)
+    if isinstance(action, Receive):
+        return Send(action.channel)
+    raise ValueError(f"action {action} has no co-action")
+
+
+def is_output(action: object) -> bool:
+    """True iff *action* is an output ``ā``."""
+    return isinstance(action, Send)
+
+
+def is_input(action: object) -> bool:
+    """True iff *action* is an input ``a``."""
+    return isinstance(action, Receive)
+
+
+def is_communication(action: object) -> bool:
+    """True iff *action* belongs to ``Comm``."""
+    return isinstance(action, (Send, Receive, Tau, SessionOpen, SessionClose))
+
+
+def is_event(action: object) -> bool:
+    """True iff *action* is an access event ``α ∈ Ev``."""
+    return isinstance(action, Event)
+
+
+def is_framing(action: object) -> bool:
+    """True iff *action* belongs to ``Frm``."""
+    return isinstance(action, (FrameOpen, FrameClose))
+
+
+def is_history_label(action: object) -> bool:
+    """True iff *action* can appear in an execution history
+    (``Ev ∪ Frm``)."""
+    return is_event(action) or is_framing(action)

@@ -1,0 +1,132 @@
+"""Service compliance (paper, Definition 4 and Theorem 1).
+
+Two history expressions ``Hc`` and ``Hs`` are *compliant*, written
+``Hc ⊢ Hs``, when — working on their projections ``H1 = Hc!`` and
+``H2 = Hs!`` — the largest relation satisfying both properties below
+relates them:
+
+(1) whenever ``H1 ⇓ C`` and ``H2 ⇓ S``, either ``C = ∅`` (the client has
+    successfully finished) or ``C ∩ S̄ ≠ ∅`` (some action offered by one
+    side is matched by the other);
+(2) compliance is preserved by synchronisation:
+    ``H1 --a--> H1' ∧ H2 --co(a)--> H2'`` implies ``H1' ⊢ H2'``.
+
+Note the asymmetry: the client may terminate and walk away, leaving the
+server mid-protocol, but never the other way around.
+
+Two independent deciders are provided:
+
+* :func:`compliant_coinductive` implements the definition literally, via
+  ready sets over the synchronised reachable pairs;
+* :func:`compliant` goes through the product automaton of Definition 5
+  and checks language emptiness (Theorem 1).
+
+The test suite checks that they agree on randomly generated contracts —
+a machine check of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.actions import co, is_input, is_output
+from repro.core.ready_sets import co_set, ready_sets
+from repro.core.syntax import HistoryExpression
+from repro.contracts.contract import Contract
+from repro.contracts.product import PairState, ProductAutomaton, build_product
+
+
+@dataclass(frozen=True)
+class ComplianceResult:
+    """Outcome of a compliance check.
+
+    ``compliant`` is the verdict; on failure ``witness`` is a reachable
+    stuck pair ``⟨H1, H2⟩`` and ``trace`` the sequence of product states
+    leading to it (both ``None`` on success).
+    """
+
+    compliant: bool
+    witness: PairState | None = None
+    trace: tuple[PairState, ...] | None = None
+
+    def __bool__(self) -> bool:
+        return self.compliant
+
+
+def check_compliance(client: HistoryExpression | Contract,
+                     server: HistoryExpression | Contract
+                     ) -> ComplianceResult:
+    """Decide ``client ⊢ server`` via the product automaton (Theorem 1),
+    returning a counterexample trace when the check fails."""
+    product = build_product(_as_contract(client), _as_contract(server))
+    if product.language_is_empty():
+        return ComplianceResult(True)
+    trace = product.counterexample()
+    assert trace is not None
+    return ComplianceResult(False, witness=trace[-1], trace=trace)
+
+
+def compliant(client: HistoryExpression | Contract,
+              server: HistoryExpression | Contract) -> bool:
+    """Decide ``client ⊢ server`` via product-automaton emptiness."""
+    return check_compliance(client, server).compliant
+
+
+def build_product_of(client: HistoryExpression | Contract,
+                     server: HistoryExpression | Contract
+                     ) -> ProductAutomaton:
+    """The product automaton ``client! ⊗ server!`` (Definition 5)."""
+    return build_product(_as_contract(client), _as_contract(server))
+
+
+def compliant_coinductive(client: HistoryExpression | Contract,
+                          server: HistoryExpression | Contract) -> bool:
+    """Decide ``client ⊢ server`` directly from Definition 4.
+
+    The candidate relation is the set of pairs reachable from
+    ``⟨client!, server!⟩`` by synchronisations; by construction it is
+    closed under property (2), so compliance holds iff every pair in it
+    satisfies property (1) on ready sets.
+    """
+    client_c = _as_contract(client)
+    server_c = _as_contract(server)
+    client_lts = client_c.lts
+    server_lts = server_c.lts
+
+    initial: PairState = (client_c.term, server_c.term)
+    seen: set[PairState] = {initial}
+    frontier = deque([initial])
+    while frontier:
+        h1, h2 = frontier.popleft()
+        if not _ready_set_condition(h1, h2):
+            return False
+        for label in client_lts.labels_from(h1):
+            if not (is_output(label) or is_input(label)):
+                continue
+            partner = co(label)
+            for h1_next in client_lts.successors(h1, label):
+                for h2_next in server_lts.successors(h2, partner):
+                    pair = (h1_next, h2_next)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+    return True
+
+
+def _ready_set_condition(h1: HistoryExpression,
+                         h2: HistoryExpression) -> bool:
+    """Property (1) of Definition 4 on the pair ``⟨h1, h2⟩``."""
+    for c_set in ready_sets(h1):
+        if not c_set:
+            continue
+        for s_set in ready_sets(h2):
+            if not (c_set & co_set(s_set)):
+                return False
+    return True
+
+
+def _as_contract(value: HistoryExpression | Contract) -> Contract:
+    if isinstance(value, Contract):
+        return value
+    return Contract(value)

@@ -1,0 +1,48 @@
+"""Duality of contracts: the canonical compliant partner.
+
+The *dual* of a contract swaps the rôles of the two participants: every
+output ``ā.H`` becomes the input ``a.H^⊥`` and every internal choice an
+external one (and vice versa).  Dualisation is the standard way to
+derive, from a client protocol, the most permissive server shape that is
+compliant with it, and it gives the library a supply of
+compliant-by-construction pairs:
+
+    ``H ⊢ H^⊥`` for every contract ``H`` (checked by the property-based
+    tests and used to seed the Theorem-1 benchmark battery).
+
+The operator is defined on *contracts* (projected expressions); apply
+:func:`repro.core.projection.project` first for full history
+expressions.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Receive, Send
+from repro.core.syntax import (Epsilon, ExternalChoice, HistoryExpression,
+                               InternalChoice, Mu, Seq, Var, seq)
+
+
+def dual(term: HistoryExpression) -> HistoryExpression:
+    """The dual contract ``term^⊥``.
+
+    Raises :class:`TypeError` on nodes the projection would have erased
+    (events, framings, requests) — dualise contracts, not raw history
+    expressions.
+    """
+    if isinstance(term, (Epsilon, Var)):
+        return term
+    if isinstance(term, Seq):
+        return seq(dual(term.first), dual(term.second))
+    if isinstance(term, ExternalChoice):
+        return InternalChoice(tuple(
+            (Send(label.channel), dual(continuation))
+            for label, continuation in term.branches))
+    if isinstance(term, InternalChoice):
+        return ExternalChoice(tuple(
+            (Receive(label.channel), dual(continuation))
+            for label, continuation in term.branches))
+    if isinstance(term, Mu):
+        return Mu(term.var, dual(term.body))
+    raise TypeError(
+        f"dual is defined on contracts only; {type(term).__name__} nodes "
+        "must be projected away first (repro.core.projection.project)")

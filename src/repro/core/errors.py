@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class WellFormednessError(ReproError):
+    """A history expression violates a structural restriction.
+
+    The calculus restricts recursion to be *tail* recursion *guarded* by a
+    communication action, requires terms to be closed before they are
+    executed, and requires request identifiers to be unique within a term.
+    """
+
+
+class OpenTermError(WellFormednessError):
+    """A free recursion variable was encountered where a closed term is
+    required (e.g. when stepping the operational semantics)."""
+
+    def __init__(self, variable: str) -> None:
+        super().__init__(f"free recursion variable {variable!r} in a context "
+                         "that requires a closed history expression")
+        self.variable = variable
+
+
+class StateSpaceLimitError(ReproError):
+    """Exploration of a transition system exceeded the configured bound.
+
+    Guarded tail recursion guarantees finiteness of the transition systems
+    the paper relies on; hitting this bound therefore indicates either a
+    non-well-formed input or a bound chosen too small for a large (but
+    finite) system.
+    """
+
+    def __init__(self, limit: int, what: str = "transition system") -> None:
+        super().__init__(
+            f"exploration of the {what} exceeded {limit} states; the term is "
+            "either not well formed (unguarded or non-tail recursion) or the "
+            "bound must be raised")
+        self.limit = limit
+
+
+class SecurityViolationError(ReproError):
+    """An access event violated an active policy in a monitored execution."""
+
+    def __init__(self, policy: object, history: object, event: object) -> None:
+        super().__init__(
+            f"event {event} violates active policy {policy} after history "
+            f"{history}")
+        self.policy = policy
+        self.history = history
+        self.event = event
+
+
+class StuckSessionError(ReproError):
+    """A session reached a configuration in which the participants are not
+    compliant: an offered output has no matching input (or both participants
+    wait on inputs forever)."""
+
+
+class PlanError(ReproError):
+    """A plan is malformed: it binds an unknown request, points to a location
+    missing from the repository, or rebinds an already-bound request."""
+
+
+class ParseError(ReproError):
+    """A surface-syntax term could not be parsed.
+
+    Carries the 1-based source position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class PolicyDefinitionError(ReproError):
+    """A usage automaton definition is inconsistent (unknown state names,
+    guards referencing unbound variables, and similar mistakes)."""

@@ -1,0 +1,133 @@
+"""Plans: orchestrations binding service requests to locations (Def. 2).
+
+A plan ``π ::= ∅ | r[ℓ] | π ∪ π'`` maps each request identifier to the
+location of the service chosen to serve it.  Networks run under a *vector*
+of plans ``~π = [π1, …, πn]``, one per parallel client.
+
+A plan is *valid* (Sections 2 and 5) when it drives computations where
+both the security constraints and client/service compliance hold — so
+neither policy violations nor missing communications can occur at run
+time.  Validity is decided by :mod:`repro.analysis.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import PlanError
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An immutable finite map from request identifiers to locations."""
+
+    bindings: tuple[tuple[str, str], ...] = ()
+
+    @staticmethod
+    def empty() -> "Plan":
+        """The empty plan ``∅``."""
+        return Plan()
+
+    @staticmethod
+    def of(mapping: Mapping[str, str] | Iterable[tuple[str, str]]) -> "Plan":
+        """Build a plan from a mapping or (request, location) pairs."""
+        items = (mapping.items() if isinstance(mapping, Mapping)
+                 else tuple(mapping))
+        plan = Plan.empty()
+        for req, loc in items:
+            plan = plan.bind(req, loc)
+        return plan
+
+    @staticmethod
+    def single(request: str, location: str) -> "Plan":
+        """The one-binding plan ``r[ℓ]``."""
+        return Plan(((str(request), str(location)),))
+
+    def bind(self, request: str, location: str) -> "Plan":
+        """``π ∪ r[ℓ]`` — extend with one binding.
+
+        Re-binding a request to a *different* location raises
+        :class:`PlanError`; re-binding to the same location is a no-op
+        (union is idempotent).
+        """
+        request = str(request)
+        location = str(location)
+        current = self.lookup(request)
+        if current is not None:
+            if current != location:
+                raise PlanError(
+                    f"request {request!r} already bound to {current!r}, "
+                    f"cannot rebind to {location!r}")
+            return self
+        ordered = tuple(sorted(self.bindings + ((request, location),)))
+        return Plan(ordered)
+
+    def union(self, other: "Plan") -> "Plan":
+        """``π ∪ π'`` — raises :class:`PlanError` on conflicting
+        bindings."""
+        result = self
+        for request, location in other.bindings:
+            result = result.bind(request, location)
+        return result
+
+    def lookup(self, request: str) -> str | None:
+        """The location bound to *request*, or ``None``."""
+        for req, loc in self.bindings:
+            if req == str(request):
+                return loc
+        return None
+
+    def __getitem__(self, request: str) -> str:
+        location = self.lookup(request)
+        if location is None:
+            raise PlanError(f"plan binds no location for request "
+                            f"{request!r}")
+        return location
+
+    def __contains__(self, request: str) -> bool:
+        return self.lookup(request) is not None
+
+    def requests(self) -> frozenset[str]:
+        """The bound request identifiers."""
+        return frozenset(req for req, _ in self.bindings)
+
+    def locations(self) -> frozenset[str]:
+        """The locations this plan routes to."""
+        return frozenset(loc for _, loc in self.bindings)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        """Iterate over (request, location) bindings."""
+        return iter(self.bindings)
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __str__(self) -> str:
+        if not self.bindings:
+            return "∅"
+        return " ∪ ".join(f"{req}[{loc}]" for req, loc in self.bindings)
+
+
+@dataclass(frozen=True)
+class PlanVector:
+    """The vector ``~π`` of per-client plans driving a network."""
+
+    plans: tuple[Plan, ...]
+
+    @staticmethod
+    def of(*plans: Plan) -> "PlanVector":
+        """Build a vector from the given plans, in client order."""
+        return PlanVector(tuple(plans))
+
+    def __getitem__(self, index: int) -> Plan:
+        return self.plans[index]
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self) -> Iterator[Plan]:
+        return iter(self.plans)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(plan) for plan in self.plans) + "]"

@@ -1,0 +1,81 @@
+"""Projection of history expressions on communication actions (Section 4).
+
+The projection ``H!`` removes access events, policy framings and whole
+inner service requests, keeping only the communication skeleton::
+
+    (H·H')!   = H!·H'!          h!            = h
+    φ[H]!     = H!              (μh.H)!       = μh.(H!)
+    (Σ a_i.H_i)! = Σ a_i.(H_i!) (⊕ ā_i.H_i)!  = ⊕ ā_i.(H_i!)
+    (open_{r,φ}·H·close_{r,φ})! = ε! = α! = ε
+
+The result is a *behavioural contract* in the sense of Castagna, Gesbert
+and Padovani [12]: internal choices guarded by outputs, external choices
+guarded by inputs, guarded tail recursion only — hence finite state.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import (ClosePending, Epsilon, EventNode,
+                               ExternalChoice, FrameClosePending, Framing,
+                               HistoryExpression, InternalChoice, Mu, Request,
+                               Seq, Var, free_variables, seq)
+
+
+def project(term: HistoryExpression) -> HistoryExpression:
+    """The projection ``term!`` on communication actions.
+
+    Closed terms project to closed terms.  Recursions whose body becomes
+    trivial (no reachable communication guard) are simplified to ``ε`` so
+    that the projected contract stays well formed.
+    """
+    if isinstance(term, (Epsilon, EventNode, ClosePending, Request, Framing,
+                         FrameClosePending)):
+        return _project_erased(term)
+    if isinstance(term, Var):
+        return term
+    if isinstance(term, Seq):
+        return seq(project(term.first), project(term.second))
+    if isinstance(term, ExternalChoice):
+        return ExternalChoice(tuple((label, project(cont))
+                                    for label, cont in term.branches))
+    if isinstance(term, InternalChoice):
+        return InternalChoice(tuple((label, project(cont))
+                                    for label, cont in term.branches))
+    if isinstance(term, Mu):
+        body = project(term.body)
+        if term.var not in free_variables(body):
+            return body
+        if _is_trivial_loop(body, term.var):
+            return Epsilon()
+        return Mu(term.var, body)
+    raise TypeError(f"unknown history expression node {term!r}")
+
+
+def _project_erased(term: HistoryExpression) -> HistoryExpression:
+    """Projection of nodes that erase to ``ε`` or to their body."""
+    if isinstance(term, Framing):
+        return project(term.body)
+    # ε, events, whole requests and run-time residuals all erase.
+    return Epsilon()
+
+
+def _is_trivial_loop(body: HistoryExpression, var: str) -> bool:
+    """True iff ``μvar.body`` has no action before re-entering ``var``.
+
+    Such degenerate loops (e.g. the projection of ``μh.(α·h)``) denote no
+    communication behaviour at all and are simplified to ``ε``.  Guarded
+    recursion in the source calculus — recursion guarded by communication
+    actions, which survive projection — never produces them, but the
+    simplification keeps :func:`project` total on all syntactically valid
+    terms.
+    """
+    while True:
+        if isinstance(body, Var):
+            return body.name == var
+        if isinstance(body, Seq):
+            body = body.first
+            continue
+        if isinstance(body, Mu):
+            body = body.body
+            continue
+        return False

@@ -1,0 +1,67 @@
+"""Observable ready sets (paper, Definition 3).
+
+The ready sets of a contract characterise what it offers right now:
+
+* an internal choice ``⊕_{i} ā_i.H_i`` offers *one output at a time* —
+  each ``{ā_i}`` is a ready set on its own;
+* an external choice ``Σ_{i} a_i.H_i`` offers *all its inputs at once* —
+  the single ready set ``{a_1, …, a_n}``;
+* ``ε`` and recursion variables offer nothing (the empty ready set);
+* sequential composition looks at its first component, falling through to
+  the second when the first offers nothing.
+
+Examples from the paper::
+
+    (ā1 ⊕ ā2) ⇓ {ā1}   and   (ā1 ⊕ ā2) ⇓ {ā2}
+    (a1 + a2) ⇓ {a1, a2}
+    μh.(ā1 ⊕ ā2)·b̄·h ⇓ {ā1}  and  ⇓ {ā2}
+    ε·(a + b)·(d̄ ⊕ ē) ⇓ {a, b}
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Receive, Send
+from repro.core.syntax import (Epsilon, ExternalChoice, HistoryExpression,
+                               InternalChoice, Mu, Seq, Var)
+
+#: A single ready set: a set of communication actions.
+ReadySet = frozenset[Send | Receive]
+
+
+def ready_sets(term: HistoryExpression) -> frozenset[ReadySet]:
+    """All ready sets ``S`` with ``term ⇓ S``.
+
+    *term* must be a contract (the image of the projection ``H!``); nodes
+    that the projection erases (events, framings, requests) raise
+    :class:`TypeError` to catch accidental use on unprojected expressions.
+    """
+    if isinstance(term, (Epsilon, Var)):
+        return frozenset({frozenset()})
+    if isinstance(term, InternalChoice):
+        return frozenset(frozenset({label})
+                         for label, _ in term.branches)
+    if isinstance(term, ExternalChoice):
+        return frozenset({frozenset(label for label, _ in term.branches)})
+    if isinstance(term, Mu):
+        return ready_sets(term.body)
+    if isinstance(term, Seq):
+        first = ready_sets(term.first)
+        result = {s for s in first if s}
+        if frozenset() in first:
+            result.update(ready_sets(term.second))
+        return frozenset(result)
+    raise TypeError(
+        f"ready sets are defined on contracts only; {type(term).__name__} "
+        "nodes must be projected away first (repro.core.projection.project)")
+
+
+def offers_nothing(term: HistoryExpression) -> bool:
+    """True iff the only ready set of *term* is the empty one."""
+    return ready_sets(term) == frozenset({frozenset()})
+
+
+def co_set(actions: ReadySet) -> ReadySet:
+    """The set of co-actions ``S̄ = {ā | a ∈ S}`` used by Definition 4."""
+    return frozenset(
+        Receive(a.channel) if isinstance(a, Send) else Send(a.channel)
+        for a in actions)

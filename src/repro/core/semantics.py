@@ -1,0 +1,130 @@
+"""Operational semantics of stand-alone history expressions.
+
+Implements the transition relation ``H --λ--> H'`` of the paper
+(Section 3)::
+
+    (I-Choice)  ⊕ ā_i.H_i --ā_i--> H_i
+    (E-Choice)  Σ a_i.H_i --a_i--> H_i
+    (α Acc)     α --α--> ε
+    (S-Open)    open_{r,φ}·H·close_{r,φ} --open_{r,φ}--> H·close_{r,φ}
+    (P-Open)    φ[H] --Lφ--> H·Mφ
+    (Conc)      H --λ--> H'  ⟹  H·H'' --λ--> H'·H''
+    (Rec)       H{μh.H/h} --λ--> H'  ⟹  μh.H --λ--> H'
+
+plus the two run-time residuals: ``close_{r,φ} --close_{r,φ}--> ε`` and
+``Mφ --Mφ--> ε``.
+
+The single entry point is :func:`step`; everything else in the library
+(finite LTS construction, projections, products, the network semantics) is
+derived from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.actions import (FrameClose, FrameOpen, Label, SessionClose,
+                                SessionOpen)
+from repro.core.errors import OpenTermError, WellFormednessError
+from repro.core.syntax import (ClosePending, Epsilon, EventNode,
+                               ExternalChoice, FrameClosePending, Framing,
+                               HistoryExpression, InternalChoice, Mu, Request,
+                               Seq, Var, seq, unfold)
+
+#: Safety bound on consecutive μ-unfoldings while computing one step.  A
+#: well-formed (guarded) term needs at most a handful; unguarded recursion
+#: like ``μh.μk.h`` would otherwise loop forever.
+_MAX_UNFOLDINGS = 64
+
+
+def step(term: HistoryExpression,
+         _depth: int = 0) -> Iterator[tuple[Label, HistoryExpression]]:
+    """Yield every transition ``(λ, H')`` with ``term --λ--> H'``.
+
+    Raises :class:`OpenTermError` on free variables and
+    :class:`WellFormednessError` on unguarded recursion.
+    """
+    if isinstance(term, Epsilon):
+        return
+    if isinstance(term, Var):
+        raise OpenTermError(term.name)
+    if isinstance(term, EventNode):
+        yield term.event, Epsilon()
+        return
+    if isinstance(term, InternalChoice):
+        for label, continuation in term.branches:
+            yield label, continuation
+        return
+    if isinstance(term, ExternalChoice):
+        for label, continuation in term.branches:
+            yield label, continuation
+        return
+    if isinstance(term, Request):
+        yield (SessionOpen(term.request, term.policy),
+               seq(term.body, ClosePending(term.request, term.policy)))
+        return
+    if isinstance(term, ClosePending):
+        yield SessionClose(term.request, term.policy), Epsilon()
+        return
+    if isinstance(term, Framing):
+        yield (FrameOpen(term.policy),
+               seq(term.body, FrameClosePending(term.policy)))
+        return
+    if isinstance(term, FrameClosePending):
+        yield FrameClose(term.policy), Epsilon()
+        return
+    if isinstance(term, Seq):
+        for label, rest in step(term.first, _depth):
+            yield label, seq(rest, term.second)
+        return
+    if isinstance(term, Mu):
+        if _depth >= _MAX_UNFOLDINGS:
+            raise WellFormednessError(
+                f"recursion μ{term.var} is not guarded: stepping it needs "
+                f"more than {_MAX_UNFOLDINGS} unfoldings")
+        yield from step(unfold(term), _depth + 1)
+        return
+    raise TypeError(f"unknown history expression node {term!r}")
+
+
+def successors(term: HistoryExpression) -> tuple[
+        tuple[Label, HistoryExpression], ...]:
+    """The transitions of *term* as a tuple (memo-friendly form of
+    :func:`step`)."""
+    return tuple(step(term))
+
+
+def is_terminated(term: HistoryExpression) -> bool:
+    """True iff *term* is (congruent to) ``ε``, i.e. successfully done."""
+    return isinstance(term, Epsilon)
+
+
+def can_step(term: HistoryExpression) -> bool:
+    """True iff *term* has at least one transition."""
+    for _ in step(term):
+        return True
+    return False
+
+
+def enabled_labels(term: HistoryExpression) -> frozenset[Label]:
+    """The set of labels *term* can fire right now."""
+    return frozenset(label for label, _ in step(term))
+
+
+def traces(term: HistoryExpression, max_length: int,
+           ) -> Iterator[tuple[Label, ...]]:
+    """Yield the (maximal or length-capped) traces of *term*.
+
+    A trace ends either at ``ε`` or when *max_length* labels have been
+    produced.  Intended for tests and examples; exhaustive exploration of
+    large terms should go through :mod:`repro.contracts.lts`.
+    """
+    stack: list[tuple[HistoryExpression, tuple[Label, ...]]] = [(term, ())]
+    while stack:
+        current, prefix = stack.pop()
+        moves = successors(current)
+        if not moves or len(prefix) >= max_length:
+            yield prefix
+            continue
+        for label, successor in moves:
+            stack.append((successor, prefix + (label,)))

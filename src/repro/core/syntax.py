@@ -1,0 +1,391 @@
+"""Abstract syntax of history expressions (paper, Definition 1).
+
+The grammar is::
+
+    H ::= ε | h | μh.H | (Σ_{i∈I} a_i.H_i) | (⊕_{i∈I} ā_i.H_i) | α
+        | H·H | open_{r,φ} H close_{r,φ} | φ[H]
+
+Nodes are immutable (frozen dataclasses), compared structurally and
+hashable, so history expressions can be used directly as states of the
+transition systems built in :mod:`repro.core.semantics`.
+
+Two *run-time* leaves complement the surface grammar:
+
+* :class:`ClosePending` — the residual ``close_{r,φ}`` left behind once a
+  session has been opened (rule S-Open rewrites
+  ``open_{r,φ}·H·close_{r,φ}`` to ``H·close_{r,φ}``);
+* :class:`FrameClosePending` — the residual ``Mφ`` left behind once a
+  framing has been entered (rule P-Open rewrites ``φ[H]`` to ``H·Mφ``).
+
+The structural congruence ``ε·H ≡ H ≡ H·ε`` is enforced by the smart
+constructor :func:`seq`, which all library code uses instead of building
+:class:`Seq` nodes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from repro.core.actions import Event, Receive, Send
+
+
+class HistoryExpression:
+    """Abstract base class of all history-expression nodes.
+
+    Concrete nodes are frozen dataclasses; the base class only hosts shared
+    conveniences (pretty ``repr`` and structural iteration).
+    """
+
+    __slots__ = ()
+
+    def children(self) -> tuple["HistoryExpression", ...]:
+        """The immediate sub-expressions of this node."""
+        return ()
+
+    def walk(self) -> Iterator["HistoryExpression"]:
+        """Pre-order traversal of the syntax tree (self included)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:  # pragma: no cover - delegated to pretty
+        from repro.lang.pretty import pretty
+        return pretty(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(HistoryExpression):
+    """The empty history expression ``ε``: it cannot do anything."""
+
+
+#: The canonical ``ε`` term.  ``Epsilon`` instances compare equal, but using
+#: the shared constant keeps object churn down in hot loops.
+EPSILON = Epsilon()
+
+
+@dataclass(frozen=True, slots=True)
+class Var(HistoryExpression):
+    """A recursion variable ``h``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Mu(HistoryExpression):
+    """Tail recursion ``μh.H``.
+
+    The calculus restricts bodies to be *tail* recursive and *guarded* by a
+    communication action; :mod:`repro.core.wellformed` checks both.
+    """
+
+    var: str
+    body: HistoryExpression
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class EventNode(HistoryExpression):
+    """A single access event ``α``."""
+
+    event: Event
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(HistoryExpression):
+    """Sequential composition ``H·H'``.
+
+    Built via :func:`seq`, which normalises away ``ε`` operands and
+    right-associates nested sequences so that structurally-congruent terms
+    are represented by identical trees.
+    """
+
+    first: HistoryExpression
+    second: HistoryExpression
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return (self.first, self.second)
+
+
+@dataclass(frozen=True, slots=True)
+class ExternalChoice(HistoryExpression):
+    """External choice ``Σ_{i∈I} a_i.H_i`` over *input* prefixes.
+
+    The choice is driven by the message received: all the inputs are
+    available at the same time (single ready set, Definition 3).
+    """
+
+    branches: tuple[tuple[Receive, HistoryExpression], ...]
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return tuple(cont for _, cont in self.branches)
+
+
+@dataclass(frozen=True, slots=True)
+class InternalChoice(HistoryExpression):
+    """Internal choice ``⊕_{i∈I} ā_i.H_i`` over *output* prefixes.
+
+    The sender picks one output on its own: each output is a singleton
+    ready set (Definition 3).
+    """
+
+    branches: tuple[tuple[Send, HistoryExpression], ...]
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return tuple(cont for _, cont in self.branches)
+
+
+@dataclass(frozen=True, slots=True)
+class Request(HistoryExpression):
+    """A service request ``open_{r,φ} H close_{r,φ}``.
+
+    ``request`` is the unique identifier ``r``; ``policy`` is the policy
+    ``φ`` imposed on the whole session (``None`` for the empty policy);
+    ``body`` is the client's behaviour within the session.
+    """
+
+    request: str
+    policy: object | None
+    body: HistoryExpression
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class ClosePending(HistoryExpression):
+    """Run-time residual ``close_{r,φ}`` of an opened session."""
+
+    request: str
+    policy: object | None
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Framing(HistoryExpression):
+    """A security framing ``φ[H]``: policy ``φ`` is enforced while ``H``
+    runs (and, history-dependently, over the whole past)."""
+
+    policy: object
+    body: HistoryExpression
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class FrameClosePending(HistoryExpression):
+    """Run-time residual ``Mφ`` of an entered framing."""
+
+    policy: object
+
+    def children(self) -> tuple[HistoryExpression, ...]:
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+def seq(*parts: HistoryExpression) -> HistoryExpression:
+    """Sequentially compose *parts*, normalising ``ε·H ≡ H ≡ H·ε``.
+
+    Nested sequences are flattened and re-associated to the right, so two
+    structurally congruent compositions yield the same tree::
+
+        seq(seq(a, b), c) == seq(a, seq(b, c)) == seq(a, b, c)
+    """
+    flat: list[HistoryExpression] = []
+    for part in parts:
+        _flatten_seq(part, flat)
+    if not flat:
+        return EPSILON
+    result = flat[-1]
+    for part in reversed(flat[:-1]):
+        result = Seq(part, result)
+    return result
+
+
+def _flatten_seq(term: HistoryExpression, out: list[HistoryExpression]) -> None:
+    if isinstance(term, Epsilon):
+        return
+    if isinstance(term, Seq):
+        _flatten_seq(term.first, out)
+        _flatten_seq(term.second, out)
+        return
+    out.append(term)
+
+
+def event(name: str, *params: object) -> EventNode:
+    """Build the event term ``α_name(params)``."""
+    return EventNode(Event(name, tuple(params)))  # type: ignore[arg-type]
+
+
+def send(channel: str,
+         continuation: HistoryExpression = EPSILON) -> InternalChoice:
+    """A single output prefix ``ā.H`` (a one-branch internal choice)."""
+    return InternalChoice(((Send(channel), continuation),))
+
+
+def receive(channel: str,
+            continuation: HistoryExpression = EPSILON) -> ExternalChoice:
+    """A single input prefix ``a.H`` (a one-branch external choice)."""
+    return ExternalChoice(((Receive(channel), continuation),))
+
+
+def external(*branches: tuple[str | Receive, HistoryExpression]
+             ) -> ExternalChoice:
+    """External choice ``Σ a_i.H_i`` from (channel, continuation) pairs."""
+    resolved = tuple(
+        (label if isinstance(label, Receive) else Receive(label), cont)
+        for label, cont in branches)
+    return ExternalChoice(resolved)
+
+
+def internal(*branches: tuple[str | Send, HistoryExpression]
+             ) -> InternalChoice:
+    """Internal choice ``⊕ ā_i.H_i`` from (channel, continuation) pairs."""
+    resolved = tuple(
+        (label if isinstance(label, Send) else Send(label), cont)
+        for label, cont in branches)
+    return InternalChoice(resolved)
+
+
+def request(rid: str, policy: object | None,
+            body: HistoryExpression) -> Request:
+    """The session term ``open_{rid,policy} body close_{rid,policy}``."""
+    return Request(str(rid), policy, body)
+
+
+def framing(policy: object, body: HistoryExpression) -> Framing:
+    """The security framing ``policy[body]``."""
+    return Framing(policy, body)
+
+
+def mu(var: str, body: HistoryExpression) -> Mu:
+    """The recursion ``μvar.body``."""
+    return Mu(var, body)
+
+
+# ---------------------------------------------------------------------------
+# Structural operations
+# ---------------------------------------------------------------------------
+
+def free_variables(term: HistoryExpression) -> frozenset[str]:
+    """The free recursion variables of *term*."""
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, Mu):
+        return free_variables(term.body) - {term.var}
+    result: frozenset[str] = frozenset()
+    for child in term.children():
+        result |= free_variables(child)
+    return result
+
+
+def is_closed(term: HistoryExpression) -> bool:
+    """True iff *term* has no free recursion variables."""
+    return not free_variables(term)
+
+
+def substitute(term: HistoryExpression, var: str,
+               replacement: HistoryExpression) -> HistoryExpression:
+    """Capture-avoiding substitution ``term{replacement / var}``.
+
+    Because recursion in the calculus is tail recursion over named
+    variables, capture can only occur through shadowing ``μ`` binders; an
+    inner binder with the same name simply stops the substitution.
+    """
+    if isinstance(term, Var):
+        return replacement if term.name == var else term
+    if isinstance(term, Mu):
+        if term.var == var:
+            return term
+        if term.var in free_variables(replacement):
+            fresh = _fresh_name(term.var,
+                                free_variables(replacement)
+                                | free_variables(term.body))
+            renamed = substitute(term.body, term.var, Var(fresh))
+            return Mu(fresh, substitute(renamed, var, replacement))
+        return Mu(term.var, substitute(term.body, var, replacement))
+    if isinstance(term, Seq):
+        return seq(substitute(term.first, var, replacement),
+                   substitute(term.second, var, replacement))
+    if isinstance(term, ExternalChoice):
+        return ExternalChoice(tuple(
+            (label, substitute(cont, var, replacement))
+            for label, cont in term.branches))
+    if isinstance(term, InternalChoice):
+        return InternalChoice(tuple(
+            (label, substitute(cont, var, replacement))
+            for label, cont in term.branches))
+    if isinstance(term, Request):
+        return Request(term.request, term.policy,
+                       substitute(term.body, var, replacement))
+    if isinstance(term, Framing):
+        return Framing(term.policy, substitute(term.body, var, replacement))
+    return term
+
+
+def _fresh_name(base: str, avoid: Iterable[str]) -> str:
+    avoid_set = set(avoid)
+    candidate = base
+    counter = 0
+    while candidate in avoid_set:
+        counter += 1
+        candidate = f"{base}_{counter}"
+    return candidate
+
+
+def unfold(term: Mu) -> HistoryExpression:
+    """One unfolding ``H{μh.H / h}`` of a recursion."""
+    return substitute(term.body, term.var, term)
+
+
+def requests_of(term: HistoryExpression) -> tuple[Request, ...]:
+    """All :class:`Request` subterms of *term*, in pre-order.
+
+    This includes requests nested inside other requests (nested sessions).
+    """
+    return tuple(node for node in term.walk() if isinstance(node, Request))
+
+
+def events_of(term: HistoryExpression) -> frozenset[Event]:
+    """All concrete access events syntactically occurring in *term*."""
+    return frozenset(node.event for node in term.walk()
+                     if isinstance(node, EventNode))
+
+
+def channels_of(term: HistoryExpression) -> frozenset[str]:
+    """All channel names occurring in *term* (inputs and outputs alike)."""
+    channels: set[str] = set()
+    for node in term.walk():
+        if isinstance(node, ExternalChoice):
+            channels.update(label.channel for label, _ in node.branches)
+        elif isinstance(node, InternalChoice):
+            channels.update(label.channel for label, _ in node.branches)
+    return frozenset(channels)
+
+
+def policies_of(term: HistoryExpression) -> frozenset[object]:
+    """All policies mentioned by framings or requests of *term*."""
+    found: set[object] = set()
+    for node in term.walk():
+        if isinstance(node, (Framing, FrameClosePending)):
+            found.add(node.policy)
+        elif isinstance(node, (Request, ClosePending)):
+            if node.policy is not None:
+                found.add(node.policy)
+    return frozenset(found)
+
+
+#: Union type of every concrete node class (useful for exhaustive matches).
+Node = Union[Epsilon, Var, Mu, EventNode, Seq, ExternalChoice, InternalChoice,
+             Request, ClosePending, Framing, FrameClosePending]

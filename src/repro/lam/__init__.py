@@ -1,0 +1,33 @@
+"""The service λ-calculus and its type-and-effect system.
+
+"Services are represented by λ-expressions, and a type and effect
+system extracts their abstract behaviour, in the form of history
+expressions" (paper, Section 3; machinery of refs [4, 5]).  This package
+implements that front end: a monomorphic call-by-value λ-calculus with
+event, communication, session and framing primitives
+(:mod:`repro.lam.syntax`), and the inference that compiles a service
+program down to the history expression every other layer of the library
+consumes (:mod:`repro.lam.infer`).
+"""
+
+from repro.lam.effects import EffectJoinError, distribute, join
+from repro.lam.parser import parse_program
+from repro.lam.infer import (Judgement, TypeEffectError, extract, infer)
+from repro.lam.syntax import (App, Evt, Fix, If, Lam, LamTerm, Let, Lit,
+                              Offer, OpenSession, RecvT, SendT,
+                              UNIT_VALUE, Var, Within, app, cond, evt,
+                              fix, lam, let, lit, offer, open_session,
+                              recv, send, seq_terms, var, within)
+from repro.lam.types import (BOOL, INT, STR, TBool, TFun, TInt, TStr,
+                             TUnit, Type, UNIT)
+
+__all__ = [
+    "EffectJoinError", "distribute", "join", "parse_program", "Judgement",
+    "TypeEffectError", "extract", "infer",
+    "App", "Evt", "Fix", "If", "Lam", "LamTerm", "Let", "Lit", "Offer",
+    "OpenSession", "RecvT", "SendT", "UNIT_VALUE", "Var", "Within",
+    "app", "cond", "evt", "fix", "lam", "let", "lit", "offer",
+    "open_session", "recv", "send", "seq_terms", "var", "within",
+    "BOOL", "INT", "STR", "TBool", "TFun", "TInt", "TStr", "TUnit",
+    "Type", "UNIT",
+]

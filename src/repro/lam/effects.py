@@ -1,0 +1,106 @@
+"""Effect algebra: joining branch effects into Definition-1 form.
+
+The type-and-effect system composes effects sequentially (``H1 · H2``)
+and must *join* the effects of conditional branches.  Definition 1 has
+no unguarded sum — choices are communication-guarded — so the join is a
+normalisation problem:
+
+1. **distribute** sequential composition over choices,
+   ``(Σ a_i.H_i) · H  ⇒  Σ a_i.(H_i · H)`` (and likewise for ``⊕``),
+   so that each branch exposes its guard;
+2. **merge** two choices of the same kind by concatenating their
+   branches (our semantics allows several branches on one channel, so
+   no further bookkeeping is needed);
+3. identical effects join trivially; anything else — one branch pure,
+   an event-guarded branch, mixed ⊕/Σ — is *not expressible* in the
+   calculus and raises :class:`EffectJoinError` with a pinpointed
+   explanation (the λ-calculus restriction mirroring the paper's
+   "internal choice is always guarded by output actions …").
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+from repro.core.syntax import (Epsilon, EventNode, ExternalChoice, Framing,
+                               HistoryExpression, InternalChoice, Mu,
+                               Request, Seq, Var, seq)
+
+
+class EffectJoinError(ReproError):
+    """The effects of two conditional branches cannot be joined into the
+    guarded-choice form Definition 1 requires."""
+
+
+def distribute(term: HistoryExpression) -> HistoryExpression:
+    """Push sequential composition inside choices (semantics-preserving:
+    both sides have identical transitions).
+
+    ``(Σ a_i.H_i) · H`` and ``(⊕ ā_i.H_i) · H`` become choices whose
+    branch continuations carry ``H``; the head of the result is then
+    always ``ε``, a choice, an event, a framing, a request or a ``μ``.
+    """
+    if isinstance(term, Seq):
+        head = distribute(term.first)
+        tail = term.second
+        if isinstance(head, ExternalChoice):
+            return ExternalChoice(tuple(
+                (label, seq(cont, tail)) for label, cont in head.branches))
+        if isinstance(head, InternalChoice):
+            return InternalChoice(tuple(
+                (label, seq(cont, tail)) for label, cont in head.branches))
+        if isinstance(head, Mu):
+            # A (tail-recursive) loop never terminates into `tail`;
+            # well-formed terms only produce this with tail == ε, which
+            # seq() already normalised away.  Anything else is caught by
+            # the well-formedness check downstream.
+            return seq(head, tail)
+        return seq(head, tail)
+    return term
+
+
+def join(left: HistoryExpression,
+         right: HistoryExpression) -> HistoryExpression:
+    """The effect of ``if … then left else right``.
+
+    Either the branches are identical, or both distribute to choices of
+    the same kind (their union is the join).  Everything else raises
+    :class:`EffectJoinError`.
+    """
+    if left == right:
+        return left
+    left_d = distribute(left)
+    right_d = distribute(right)
+    if left_d == right_d:
+        return left_d
+    if isinstance(left_d, ExternalChoice) and \
+            isinstance(right_d, ExternalChoice):
+        return ExternalChoice(left_d.branches + right_d.branches)
+    if isinstance(left_d, InternalChoice) and \
+            isinstance(right_d, InternalChoice):
+        return InternalChoice(left_d.branches + right_d.branches)
+    raise EffectJoinError(
+        "conditional branches must both be communication-guarded (or "
+        "have identical effects); got "
+        f"{_describe(left_d)} vs {_describe(right_d)}")
+
+
+def _describe(term: HistoryExpression) -> str:
+    if isinstance(term, Epsilon):
+        return "a pure branch (ε)"
+    if isinstance(term, ExternalChoice):
+        return "an input-guarded branch"
+    if isinstance(term, InternalChoice):
+        return "an output-guarded branch"
+    if isinstance(term, (Seq,)):
+        return f"a branch starting with {_describe(term.first)}"
+    if isinstance(term, EventNode):
+        return f"an event-guarded branch ({term.event})"
+    if isinstance(term, Framing):
+        return "a framing-guarded branch"
+    if isinstance(term, Request):
+        return "a session-guarded branch"
+    if isinstance(term, Mu):
+        return "a recursive branch"
+    if isinstance(term, Var):
+        return "a bare recursive call"
+    return f"a {type(term).__name__} branch"

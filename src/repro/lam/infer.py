@@ -1,0 +1,232 @@
+"""The type-and-effect system: λ-terms → (type, history expression).
+
+Judgements have the form ``Γ ⊢ e : τ ▷ H`` — under environment ``Γ``,
+term ``e`` has type ``τ`` and evaluating it produces the history
+expression ``H``.  The rules are the standard monomorphic ones of the
+call-by-contract methodology (refs [4, 5] of the paper):
+
+* values (literals, variables, abstractions) are pure (``ε``);
+* application unleashes ``H_fun · H_arg · latent``;
+* ``if`` joins the branch effects (:func:`repro.lam.effects.join`),
+  which enforces the calculus's guarded-choice discipline;
+* the primitives produce their namesake effects (event, ``ā``/``a``,
+  ``open_{r,φ} … close_{r,φ}``, ``φ[…]``);
+* ``fix`` types the body under the recursive assumption that calls to
+  the function contribute the effect variable ``h`` and closes the
+  latent effect with ``μh``; the result must satisfy the calculus's
+  guarded-tail-recursion restriction, checked immediately with a
+  targeted error message.
+
+The public entry point is :func:`extract`; on success the effect is a
+plain, well-formed :class:`~repro.core.syntax.HistoryExpression`, ready
+for the planner, the compliance checker and everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError, WellFormednessError
+from repro.core.syntax import (EPSILON, EventNode, Framing,
+                               HistoryExpression, Mu, Request)
+from repro.core.syntax import Var as EffectVar
+from repro.core.syntax import receive as effect_receive
+from repro.core.syntax import send as effect_send
+from repro.core.syntax import seq
+from repro.core.actions import Event
+from repro.core.wellformed import (check_guarded_tail_recursion,
+                                   check_well_formed)
+from repro.lam.effects import join
+from repro.lam.syntax import (App, Evt, Fix, If, Lam, LamTerm, Let, Lit,
+                              Offer, OpenSession, RecvT, SendT, Var,
+                              Within)
+from repro.lam.types import BOOL, TFun, Type, UNIT, type_of_literal
+
+
+class TypeEffectError(ReproError):
+    """A λ-term is ill-typed or has an inexpressible effect."""
+
+
+@dataclass(frozen=True)
+class Judgement:
+    """The result of inference: ``e : type ▷ effect``."""
+
+    type: Type
+    effect: HistoryExpression
+
+
+#: Environment: variable name → type.
+Environment = dict
+
+
+def infer(term: LamTerm, env: Environment | None = None) -> Judgement:
+    """Infer the type and effect of *term* under *env*."""
+    return _infer(term, dict(env or {}), recursion=None)
+
+
+def extract(term: LamTerm,
+            env: Environment | None = None) -> HistoryExpression:
+    """The abstract behaviour of a *service*: infer, then validate.
+
+    The term must denote a computation (not a bare function): its effect
+    is returned after the well-formedness check of the calculus.
+    """
+    judgement = infer(term, env)
+    try:
+        check_well_formed(judgement.effect)
+    except WellFormednessError as error:
+        raise TypeEffectError(
+            f"the extracted behaviour is not a well-formed history "
+            f"expression: {error}") from error
+    return judgement.effect
+
+
+@dataclass(frozen=True)
+class _Recursion:
+    """Tracks the enclosing ``fix`` while typing its body."""
+
+    fun: str
+    param_type: Type
+    result: Type
+    effect_var: str
+
+
+def _infer(term: LamTerm, env: Environment,
+           recursion: _Recursion | None) -> Judgement:
+    if isinstance(term, Lit):
+        return Judgement(_literal_type(term), EPSILON)
+    if isinstance(term, Var):
+        if recursion is not None and term.name == recursion.fun \
+                and term.name not in env:
+            raise TypeEffectError(
+                f"recursive function {recursion.fun!r} must be fully "
+                "applied (bare occurrences have no latent-effect "
+                "placeholder)")
+        if term.name not in env:
+            raise TypeEffectError(f"unbound variable {term.name!r}")
+        return Judgement(env[term.name], EPSILON)
+    if isinstance(term, Lam):
+        inner = dict(env)
+        inner[term.param] = term.annotation
+        body = _infer(term.body, inner, recursion)
+        return Judgement(TFun(term.annotation, body.effect, body.type),
+                         EPSILON)
+    if isinstance(term, App):
+        return _infer_app(term, env, recursion)
+    if isinstance(term, Let):
+        bound = _infer(term.bound, env, recursion)
+        inner = dict(env)
+        inner[term.name] = bound.type
+        body = _infer(term.body, inner, recursion)
+        return Judgement(body.type, seq(bound.effect, body.effect))
+    if isinstance(term, If):
+        condition = _infer(term.condition, env, recursion)
+        if condition.type != BOOL:
+            raise TypeEffectError(
+                f"condition must be bool, got {condition.type}")
+        then = _infer(term.then, env, recursion)
+        orelse = _infer(term.orelse, env, recursion)
+        if then.type != orelse.type:
+            raise TypeEffectError(
+                f"branches disagree: {then.type} vs {orelse.type}")
+        return Judgement(then.type,
+                         seq(condition.effect,
+                             join(then.effect, orelse.effect)))
+    if isinstance(term, Evt):
+        return Judgement(UNIT, EventNode(Event(term.name, term.payload)))
+    if isinstance(term, SendT):
+        value = _infer(term.value, env, recursion)
+        return Judgement(UNIT, seq(value.effect,
+                                   effect_send(term.channel)))
+    if isinstance(term, RecvT):
+        return Judgement(term.annotation, effect_receive(term.channel))
+    if isinstance(term, Offer):
+        if not term.branches:
+            raise TypeEffectError("offer needs at least one branch")
+        judgements = [(channel, _infer(body, env, recursion))
+                      for channel, body in term.branches]
+        first_type = judgements[0][1].type
+        for channel, judgement in judgements[1:]:
+            if judgement.type != first_type:
+                raise TypeEffectError(
+                    f"offer branches disagree: {first_type} vs "
+                    f"{judgement.type} (branch {channel!r})")
+        from repro.core.actions import Receive
+        from repro.core.syntax import ExternalChoice
+        return Judgement(first_type, ExternalChoice(tuple(
+            (Receive(channel), judgement.effect)
+            for channel, judgement in judgements)))
+    if isinstance(term, OpenSession):
+        body = _infer(term.body, env, recursion)
+        return Judgement(body.type,
+                         Request(term.request, term.policy, body.effect))
+    if isinstance(term, Within):
+        body = _infer(term.body, env, recursion)
+        return Judgement(body.type, Framing(term.policy, body.effect))
+    if isinstance(term, Fix):
+        return _infer_fix(term, env)
+    raise TypeError(f"unknown λ-term {term!r}")
+
+
+def _literal_type(term: Lit) -> Type:
+    try:
+        return type_of_literal(term.value)
+    except TypeError as error:
+        raise TypeEffectError(str(error)) from error
+
+
+def _infer_app(term: App, env: Environment,
+               recursion: _Recursion | None) -> Judgement:
+    # Recursive self-application gets the effect variable, not the (as
+    # yet unknown) latent effect.
+    if (recursion is not None and isinstance(term.fun, Var)
+            and term.fun.name == recursion.fun):
+        arg = _infer(term.arg, env, recursion)
+        if arg.type != recursion.param_type:
+            raise TypeEffectError(
+                f"recursive call of {recursion.fun!r} expects "
+                f"{recursion.param_type}, got {arg.type}")
+        return Judgement(recursion.result,
+                         seq(arg.effect, EffectVar(recursion.effect_var)))
+    fun = _infer(term.fun, env, recursion)
+    if not isinstance(fun.type, TFun):
+        raise TypeEffectError(f"cannot apply a non-function of type "
+                              f"{fun.type}")
+    arg = _infer(term.arg, env, recursion)
+    if arg.type != fun.type.param:
+        raise TypeEffectError(
+            f"argument type mismatch: expected {fun.type.param}, got "
+            f"{arg.type}")
+    return Judgement(fun.type.result,
+                     seq(fun.effect, arg.effect, fun.type.latent))
+
+
+def _infer_fix(term: Fix, env: Environment) -> Judgement:
+    effect_var = f"h_{term.fun}"
+    marker = _Recursion(term.fun, term.annotation, term.result,
+                        effect_var)
+    inner = dict(env)
+    inner[term.param] = term.annotation
+    # `term.fun` is NOT added to the environment as an ordinary variable:
+    # occurrences must be fully applied so the effect variable lands in a
+    # meaningful position; _occurs_bare reports violations precisely.
+    body = _infer(term.body, inner, marker)
+    if body.type != term.result:
+        raise TypeEffectError(
+            f"fix body has type {body.type}, annotation says "
+            f"{term.result}")
+    latent: HistoryExpression = body.effect
+    if effect_var in _free_effect_vars(latent):
+        latent = Mu(effect_var, latent)
+        try:
+            check_guarded_tail_recursion(latent)
+        except WellFormednessError as error:
+            raise TypeEffectError(
+                f"recursion in {term.fun!r} violates the calculus's "
+                f"guarded-tail-recursion restriction: {error}") from error
+    return Judgement(TFun(term.annotation, latent, term.result), EPSILON)
+
+
+def _free_effect_vars(effect: HistoryExpression) -> frozenset[str]:
+    from repro.core.syntax import free_variables
+    return free_variables(effect)

@@ -1,0 +1,272 @@
+"""Abstract syntax of the service λ-calculus.
+
+The term language mixes a standard call-by-value λ-calculus with the
+side-effecting primitives of the calculus of services:
+
+* ``evt(name, payload…)`` — fire the access event ``α_name(payload…)``;
+* ``send(channel, e)`` / ``recv(channel, type)`` — channel output and
+  input (values travel, but their content is abstracted away: the
+  *effect* records only the channel);
+* ``open_session(r, φ, e)`` — run ``e`` inside the session
+  ``open_{r,φ} … close_{r,φ}``;
+* ``within(φ, e)`` — the security framing ``φ[e]``;
+* ``fix(f, x, τx, τr, body)`` — recursive functions (the effect system
+  closes their latent effect with ``μ``).
+
+Terms are built with the lowercase helper functions at the bottom of
+this module; ``seq_terms(e1, e2, …)`` chains unit-valued steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lam.types import Type
+
+
+class LamTerm:
+    """Abstract base class of λ-terms."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["LamTerm", ...]:
+        """Immediate subterms."""
+        return ()
+
+    def walk(self) -> Iterator["LamTerm"]:
+        """Pre-order traversal (self included)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(LamTerm):
+    """A literal constant (``()``, booleans, integers, strings)."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class Var(LamTerm):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Lam(LamTerm):
+    """An abstraction ``λ(param : annotation). body``."""
+
+    param: str
+    annotation: Type
+    body: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class App(LamTerm):
+    """An application ``fun arg``."""
+
+    fun: LamTerm
+    arg: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.fun, self.arg)
+
+
+@dataclass(frozen=True, slots=True)
+class Let(LamTerm):
+    """``let name = bound in body`` (also the sequencing sugar)."""
+
+    name: str
+    bound: LamTerm
+    body: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.bound, self.body)
+
+
+@dataclass(frozen=True, slots=True)
+class If(LamTerm):
+    """A conditional; the effect system joins the branch effects."""
+
+    condition: LamTerm
+    then: LamTerm
+    orelse: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.condition, self.then, self.orelse)
+
+
+@dataclass(frozen=True, slots=True)
+class Evt(LamTerm):
+    """Fire an access event with literal payloads; value ``()``."""
+
+    name: str
+    payload: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SendT(LamTerm):
+    """Evaluate *value*, then output it on *channel*; value ``()``."""
+
+    channel: str
+    value: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.value,)
+
+
+@dataclass(frozen=True, slots=True)
+class RecvT(LamTerm):
+    """Input on *channel*; the received value has the annotated type."""
+
+    channel: str
+    annotation: Type
+
+
+@dataclass(frozen=True, slots=True)
+class Offer(LamTerm):
+    """Wait for one of several channels; run that branch's body.
+
+    The λ-level form of external choice: ``offer(("a", e1), ("b", e2))``
+    has effect ``Σ (a.H1, b.H2)`` and the branches' common type.
+    """
+
+    branches: tuple[tuple[str, "LamTerm"], ...]
+
+    def children(self) -> tuple["LamTerm", ...]:
+        return tuple(body for _, body in self.branches)
+
+
+@dataclass(frozen=True, slots=True)
+class OpenSession(LamTerm):
+    """Run *body* inside the session ``open_{request,policy} …``."""
+
+    request: str
+    policy: object | None
+    body: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class Within(LamTerm):
+    """Run *body* under the security framing ``policy[…]``."""
+
+    policy: object
+    body: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, slots=True)
+class Fix(LamTerm):
+    """A recursive function ``fix fun(param : annotation) : result = body``.
+
+    Inside *body*, ``fun`` is bound to the function itself; the effect
+    system closes the latent effect with ``μ`` and enforces the
+    calculus's guarded-tail-recursion restriction.
+    """
+
+    fun: str
+    param: str
+    annotation: Type
+    result: Type
+    body: LamTerm
+
+    def children(self) -> tuple[LamTerm, ...]:
+        return (self.body,)
+
+
+# -- concise constructors ----------------------------------------------------
+
+def lit(value: object) -> Lit:
+    """A literal."""
+    return Lit(value)
+
+
+#: The unit value ``()``.
+UNIT_VALUE = Lit(None)
+
+
+def var(name: str) -> Var:
+    """A variable."""
+    return Var(name)
+
+
+def lam(param: str, annotation: Type, body: LamTerm) -> Lam:
+    """An abstraction."""
+    return Lam(param, annotation, body)
+
+
+def app(fun: LamTerm, *args: LamTerm) -> LamTerm:
+    """Left-associated application ``fun a1 a2 …``."""
+    result: LamTerm = fun
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def let(name: str, bound: LamTerm, body: LamTerm) -> Let:
+    """A let binding."""
+    return Let(name, bound, body)
+
+
+def seq_terms(*steps: LamTerm) -> LamTerm:
+    """``e1 ; e2 ; …`` — evaluate in order, keep the last value."""
+    if not steps:
+        return UNIT_VALUE
+    result = steps[-1]
+    for index, step in enumerate(reversed(steps[:-1])):
+        result = Let(f"_seq{index}", step, result)
+    return result
+
+
+def cond(condition: LamTerm, then: LamTerm, orelse: LamTerm) -> If:
+    """A conditional."""
+    return If(condition, then, orelse)
+
+
+def evt(name: str, *payload: object) -> Evt:
+    """Fire ``α_name(payload…)``."""
+    return Evt(name, tuple(payload))
+
+
+def send(channel: str, value: LamTerm = UNIT_VALUE) -> SendT:
+    """Output on *channel*."""
+    return SendT(channel, value)
+
+
+def recv(channel: str, annotation: Type | None = None) -> RecvT:
+    """Input on *channel* (default type: unit)."""
+    from repro.lam.types import UNIT
+    return RecvT(channel, annotation if annotation is not None else UNIT)
+
+
+def offer(*branches: tuple[str, LamTerm]) -> Offer:
+    """External choice over channels."""
+    return Offer(tuple(branches))
+
+
+def open_session(request: str, policy: object | None,
+                 body: LamTerm) -> OpenSession:
+    """A session request."""
+    return OpenSession(str(request), policy, body)
+
+
+def within(policy: object, body: LamTerm) -> Within:
+    """A security framing."""
+    return Within(policy, body)
+
+
+def fix(fun: str, param: str, annotation: Type, result: Type,
+        body: LamTerm) -> Fix:
+    """A recursive function."""
+    return Fix(fun, param, annotation, result, body)

@@ -1,0 +1,99 @@
+"""Types for the service λ-calculus.
+
+The paper's programming model (Section 3): "Services are represented by
+λ-expressions, and a type and effect system extracts their abstract
+behaviour, in the form of history expressions" — the machinery of
+refs [4, 5], which the paper inherits.  This package implements it for a
+monomorphic λ-calculus with communication, event, session and framing
+primitives.
+
+Types are::
+
+    τ ::= unit | bool | int | str | τ --H--> τ
+
+Arrow types carry a *latent effect* ``H`` — the history expression the
+function produces when applied.  Effects on values other than functions
+are not needed: the calculus abstracts data away (events carry literal
+payloads; received values are typed but opaque).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.syntax import HistoryExpression
+
+
+class Type:
+    """Abstract base class of types."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TUnit(Type):
+    """The unit type."""
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True, slots=True)
+class TBool(Type):
+    """Booleans."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True, slots=True)
+class TInt(Type):
+    """Integers."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True, slots=True)
+class TStr(Type):
+    """Strings."""
+
+    def __str__(self) -> str:
+        return "str"
+
+
+@dataclass(frozen=True, slots=True)
+class TFun(Type):
+    """A function type ``param --latent--> result``.
+
+    ``latent`` is the effect unleashed at application time.
+    """
+
+    param: Type
+    latent: HistoryExpression
+    result: Type
+
+    def __str__(self) -> str:
+        from repro.lang.pretty import pretty
+        effect = pretty(self.latent)
+        return f"({self.param} --{effect}--> {self.result})"
+
+
+#: Shared instances of the base types.
+UNIT = TUnit()
+BOOL = TBool()
+INT = TInt()
+STR = TStr()
+
+
+def type_of_literal(value: object) -> Type:
+    """The base type of a literal constant."""
+    if value is None or value == ():
+        return UNIT
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, str):
+        return STR
+    raise TypeError(f"no base type for literal {value!r}")

@@ -1,0 +1,11 @@
+"""A textual surface syntax for history expressions.
+
+Lexer, recursive-descent parser and pretty printer for the concrete
+syntax used by the examples and the command-line driver; see
+:mod:`repro.lang.parser` for the grammar.
+"""
+
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+__all__ = ["parse", "pretty"]

@@ -1,0 +1,125 @@
+"""Lexer for the history-expression surface syntax.
+
+Token kinds:
+
+``IDENT``    identifiers (``[A-Za-z_][A-Za-z0-9_]*``), with the keywords
+             ``eps``, ``mu``, ``open``, ``with``, ``frame`` split out;
+``INT`` / ``FLOAT`` / ``STRING`` literals (strings in double quotes);
+punctuation ``@ ! ? . ; , ( ) { } = : | ->``, the external-choice
+operator ``+`` and the internal-choice operator ``++`` (``=`` appears in
+module declarations, :mod:`repro.lang.module`; ``: | ->`` in λ-programs,
+:mod:`repro.lam.parser`).
+
+``#`` starts a comment running to the end of the line.  Every token
+carries its 1-based line/column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ParseError
+
+KEYWORDS = frozenset({"eps", "mu", "open", "with", "frame"})
+
+#: Multi-character symbols first so maximal munch applies.
+SYMBOLS = ("++", "->", "@", "!", "?", ".", ";", ",", "(", ")", "{",
+           "}", "+", "=", ":", "|")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, appending a final ``EOF`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            start_line, start_column = line, column
+            end = index + 1
+            while end < length and source[end] != '"':
+                if source[end] == "\n":
+                    raise ParseError("unterminated string literal",
+                                     start_line, start_column)
+                end += 1
+            if end >= length:
+                raise ParseError("unterminated string literal",
+                                 start_line, start_column)
+            text = source[index + 1:end]
+            yield Token("STRING", text, start_line, start_column)
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length
+                              and source[index + 1].isdigit()):
+            start_line, start_column = line, column
+            end = index + 1
+            while end < length and (source[end].isdigit()
+                                    or source[end] == "."):
+                end += 1
+            text = source[index:end]
+            kind = "FLOAT" if "." in text else "INT"
+            if text.count(".") > 1:
+                raise ParseError(f"malformed number {text!r}",
+                                 start_line, start_column)
+            yield Token(kind, text, start_line, start_column)
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            end = index + 1
+            while end < length and (source[end].isalnum()
+                                    or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = text.upper() if text in KEYWORDS else "IDENT"
+            yield Token(kind, text, start_line, start_column)
+            column += end - index
+            index = end
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                yield Token(symbol, symbol, line, column)
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+    yield Token("EOF", "", line, column)

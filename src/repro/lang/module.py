@@ -1,0 +1,280 @@
+"""Module syntax: whole networks in the surface language.
+
+Beyond single terms (:mod:`repro.lang.parser`), a *module* declares
+policies, services and clients together::
+
+    # the paper's hotel network
+    policy phi1 = hotel(bl = {1}, p = 45, t = 100)
+    policy phi2 = hotel(bl = {1, 3}, p = 40, t = 70)
+
+    client lc1 = open 1 with phi1 { !Req . (?CoBo . !Pay + ?NoAv) }
+
+    service lbr =
+        ?Req ;
+        open 3 { !IdC . (?Bok + ?UnA) } ;
+        (!CoBo . ?Pay ++ !NoAv)
+
+    service ls1 = @sgn(1) ; @p(45) ; @ta(80) ; ?IdC . (!Bok ++ !UnA)
+
+Grammar::
+
+    module  := declaration*
+    declaration := 'policy' IDENT '=' IDENT [policy_args]   -- schema call
+                 | 'client' IDENT '=' expr
+                 | 'service' IDENT '=' expr
+                 | 'program' ('client'|'service') IDENT '=' λ-expr
+    policy_args := '(' [arg (',' arg)*] ')'
+    arg     := IDENT '=' value          -- named instantiation argument
+             | value                    -- positional schema argument
+    value   := INT | FLOAT | STRING | IDENT
+             | '{' [value (',' value)*] '}'          -- a (frozen) set
+             | '{' NAME '=' value (',' …)* '}'       -- a mapping
+
+Policy schemas are looked up in a registry (by default the library
+registry shared with the CLI); positional arguments parameterise the
+schema factory (e.g. ``never_after(read, write)``), named arguments
+instantiate the resulting automaton's parameters (e.g.
+``hotel(bl = {1}, p = 45, t = 100)``).
+
+A declaration's body extends to the next declaration header at brace
+level 0, so multi-line terms need no terminator.
+
+``program`` declarations contain *λ-programs* (the concrete syntax of
+:mod:`repro.lam.parser`); their history expression is extracted by the
+type-and-effect system before being added to the module — Section 3's
+programming model, end to end in one file::
+
+    program service worker =
+        fun serve(u: unit): unit =
+            offer { job -> @archive(1) ; !done ; serve () | quit -> () }
+        in serve ()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.errors import ParseError, ReproError
+from repro.core.syntax import HistoryExpression
+from repro.core.wellformed import check_well_formed
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import _Parser
+from repro.network.repository import Repository
+from repro.policies.usage_automata import Policy
+
+
+def default_schemas() -> dict[str, Callable]:
+    """The standard schema registry (shared with the CLI)."""
+    from repro.policies import library
+    from repro.quantitative.policies import budget_automaton
+    return {
+        "hotel": lambda: library.hotel_policy_automaton(),
+        "never_after": library.never_after_automaton,
+        "forbid": library.forbid_automaton,
+        "blacklist": library.blacklist_automaton,
+        "at_most": library.at_most_automaton,
+        "require_before": library.require_before_automaton,
+        "chinese_wall": library.chinese_wall_automaton,
+        "budget": budget_automaton,
+    }
+
+
+@dataclass
+class Module:
+    """A parsed module: named policies, clients and services."""
+
+    policies: dict[str, Policy] = field(default_factory=dict)
+    clients: dict[str, HistoryExpression] = field(default_factory=dict)
+    services: dict[str, HistoryExpression] = field(default_factory=dict)
+
+    @property
+    def repository(self) -> Repository:
+        """The services as a repository."""
+        return Repository(self.services)
+
+    def term(self, name: str) -> HistoryExpression:
+        """Look up a client or service by name."""
+        if name in self.clients:
+            return self.clients[name]
+        if name in self.services:
+            return self.services[name]
+        raise ReproError(f"no client or service named {name!r}")
+
+
+#: Keywords that start a top-level declaration.
+_DECL_KEYWORDS = {"policy", "client", "service"}
+
+#: The λ-program declaration prefix.
+_PROGRAM_KEYWORD = "program"
+
+
+def parse_module(source: str,
+                 schemas: Mapping[str, Callable] | None = None) -> Module:
+    """Parse a module, validating every declared term."""
+    registry = dict(schemas) if schemas is not None else default_schemas()
+    tokens = tokenize(source)
+    module = Module()
+
+    index = 0
+    while tokens[index].kind != "EOF":
+        keyword = tokens[index]
+        if not _starts_declaration(tokens, index):
+            raise ParseError(
+                f"expected a declaration (policy/client/service NAME = "
+                f"or program client/service NAME =), found "
+                f"{keyword.text!r}", keyword.line, keyword.column)
+        if keyword.text == _PROGRAM_KEYWORD:
+            kind = f"program-{tokens[index + 1].text}"
+            name_token = tokens[index + 2]
+            index += 3
+        else:
+            kind = keyword.text
+            name_token = tokens[index + 1]
+            index += 2
+        # The body runs to the next brace-balanced declaration header.
+        end = index
+        depth = 0
+        while tokens[end].kind != "EOF":
+            if tokens[end].kind in ("{", "("):
+                depth += 1
+            elif tokens[end].kind in ("}", ")"):
+                depth -= 1
+            elif depth == 0 and end > index \
+                    and _starts_declaration(tokens, end):
+                break
+            end += 1
+        body = list(tokens[index:end]) + [_eof_like(tokens[end])]
+        _parse_declaration(module, registry, kind, name_token.text, body)
+        index = end
+    return module
+
+
+def _starts_declaration(tokens, position: int) -> bool:
+    """A declaration header is ``(policy|client|service) NAME =`` or
+    ``program (client|service) NAME =`` — the trailing ``=``
+    disambiguates the keywords from channels or recursion variables that
+    happen to share their spelling."""
+    token = tokens[position]
+    if token.kind != "IDENT":
+        return False
+    if token.text == _PROGRAM_KEYWORD:
+        return (tokens[position + 1].kind == "IDENT"
+                and tokens[position + 1].text in ("client", "service")
+                and tokens[position + 2].kind in ("IDENT", "INT")
+                and tokens[position + 3].kind == "=")
+    if token.text not in _DECL_KEYWORDS:
+        return False
+    if tokens[position + 1].kind not in ("IDENT", "INT"):
+        return False
+    return tokens[position + 2].kind == "="
+
+
+def _eof_like(token: Token) -> Token:
+    return Token("EOF", "", token.line, token.column)
+
+
+def _parse_declaration(module: Module, registry, kind: str, name: str,
+                       body: list[Token]) -> None:
+    if kind.startswith("program-"):
+        from repro.lam.infer import extract
+        from repro.lam.parser import _LamParser
+        parser = _LamParser(body, module.policies)
+        token = parser.peek()
+        if token.kind != "=":
+            raise ParseError("expected '=' after the declaration name",
+                             token.line, token.column)
+        parser.advance()
+        program = parser.expr()
+        parser.expect("EOF")
+        effect = extract(program)
+        if kind == "program-client":
+            module.clients[name] = effect
+        else:
+            module.services[name] = effect
+        return
+    parser = _ModuleParser(body, module.policies)
+    parser.expect_equals()
+    if kind == "policy":
+        module.policies[name] = parser.policy_value(registry)
+        parser.expect("EOF")
+        return
+    term = parser.expr()
+    parser.expect("EOF")
+    check_well_formed(term)
+    if kind == "client":
+        module.clients[name] = term
+    else:
+        module.services[name] = term
+
+
+class _ModuleParser(_Parser):
+    """The term parser extended with declaration plumbing."""
+
+    def expect_equals(self) -> None:
+        token = self.peek()
+        if token.kind == "=":
+            self.advance()
+            return
+        raise ParseError("expected '=' after the declaration name",
+                         token.line, token.column)
+
+    def policy_value(self, registry) -> Policy:
+        schema_token = self.expect("IDENT")
+        factory = registry.get(schema_token.text)
+        if factory is None:
+            raise ParseError(
+                f"unknown policy schema {schema_token.text!r} "
+                f"(known: {', '.join(sorted(registry))})",
+                schema_token.line, schema_token.column)
+        positional: list[object] = []
+        named: dict[str, object] = {}
+        if self.peek().kind == "(":
+            self.advance()
+            if self.peek().kind != ")":
+                self._argument(positional, named)
+                while self.peek().kind == ",":
+                    self.advance()
+                    self._argument(positional, named)
+            self.expect(")")
+        automaton = factory(*positional)
+        return automaton.instantiate(**named)
+
+    def _argument(self, positional: list, named: dict) -> None:
+        token = self.peek()
+        if (token.kind in self._NAME_KINDS
+                and self._tokens[self._index + 1].kind == "="):
+            name = self.advance().text
+            self.advance()  # '='
+            named[name] = self._value()
+            return
+        positional.append(self._value())
+
+    def _value(self) -> object:
+        token = self.peek()
+        if token.kind == "{":
+            self.advance()
+            if self.peek().kind == "}":
+                self.advance()
+                return frozenset()
+            if (self.peek().kind in self._NAME_KINDS
+                    and self._tokens[self._index + 1].kind == "="):
+                entries: dict[str, object] = {}
+                self._dict_entry(entries)
+                while self.peek().kind == ",":
+                    self.advance()
+                    self._dict_entry(entries)
+                self.expect("}")
+                return tuple(sorted(entries.items()))
+            items = [self._value()]
+            while self.peek().kind == ",":
+                self.advance()
+                items.append(self._value())
+            self.expect("}")
+            return frozenset(items)
+        return self._literal()
+
+    def _dict_entry(self, entries: dict) -> None:
+        name = self.advance().text
+        self.expect("=")
+        entries[name] = self._value()

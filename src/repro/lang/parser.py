@@ -1,0 +1,241 @@
+"""Recursive-descent parser for the history-expression surface syntax.
+
+Grammar (whitespace-insensitive; ``#`` comments)::
+
+    expr     := term (';' term)*                          -- H · H'
+    term     := 'eps'                                     -- ε
+              | IDENT                                     -- recursion var h
+              | '@' IDENT ['(' literal (',' literal)* ')']  -- event α
+              | prefix                                    -- 1-branch choice
+              | '(' branches ')'                          -- Σ / ⊕
+              | 'mu' IDENT '{' expr '}'                   -- μh.H
+              | 'open' (IDENT|INT) ['with' IDENT] '{' expr '}'
+              | 'frame' IDENT '{' expr '}'                -- φ[H]
+              | '{' expr '}'                              -- grouping
+    prefix   := '!' IDENT ['.' term]                      -- ā.H
+              | '?' IDENT ['.' term]                      -- a.H
+    branches := prefix ('+' prefix)*                      -- external (all ?)
+              | prefix ('++' prefix)*                     -- internal (all !)
+    literal  := INT | FLOAT | STRING | IDENT              -- IDENT ≡ string
+
+Examples::
+
+    open r1 with phi { !Req . (?CoBo . !Pay + ?NoAv) }
+    @sgn(1) ; @p(45) ; @ta(80) ; ?IdC . (!Bok ++ !UnA)
+    mu h { !ping . ?pong . h }
+
+Policy identifiers (after ``with`` and ``frame``) are resolved against
+the *policies* environment passed to :func:`parse`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import ParseError
+from repro.core.syntax import (EPSILON, ExternalChoice, Framing,
+                               HistoryExpression, InternalChoice, Mu,
+                               Request, Var, event, seq)
+from repro.core.actions import Receive, Send
+from repro.lang.lexer import Token, tokenize
+
+
+def parse(source: str,
+          policies: Mapping[str, object] | None = None) -> HistoryExpression:
+    """Parse *source* into a history expression.
+
+    *policies* maps the policy identifiers usable after ``with``/``frame``
+    to :class:`~repro.policies.usage_automata.Policy` values.
+    """
+    parser = _Parser(tokenize(source), dict(policies or {}))
+    term = parser.expr()
+    parser.expect("EOF")
+    return term
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token],
+                 policies: dict[str, object]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._policies = policies
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.kind} "
+                             f"({token.text!r})", token.line, token.column)
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    _NAME_KINDS = ("IDENT", "EPS", "MU", "OPEN", "WITH", "FRAME")
+
+    def expect_name(self) -> Token:
+        """An identifier; keywords are allowed where only a name can
+        appear (event names, channels, request ids, …)."""
+        token = self.peek()
+        if token.kind not in self._NAME_KINDS:
+            raise ParseError(f"expected an identifier, found {token.kind} "
+                             f"({token.text!r})", token.line, token.column)
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def expr(self) -> HistoryExpression:
+        parts = [self.term()]
+        while self.peek().kind == ";":
+            self.advance()
+            parts.append(self.term())
+        return seq(*parts)
+
+    def term(self) -> HistoryExpression:
+        token = self.peek()
+        if token.kind == "EPS":
+            self.advance()
+            return EPSILON
+        if token.kind == "IDENT":
+            self.advance()
+            return Var(token.text)
+        if token.kind == "@":
+            return self._event()
+        if token.kind in ("!", "?"):
+            label, continuation = self._prefix()
+            if isinstance(label, Send):
+                return InternalChoice(((label, continuation),))
+            return ExternalChoice(((label, continuation),))
+        if token.kind == "(":
+            return self._choice()
+        if token.kind == "MU":
+            return self._mu()
+        if token.kind == "OPEN":
+            return self._open()
+        if token.kind == "FRAME":
+            return self._frame()
+        if token.kind == "{":
+            self.advance()
+            inner = self.expr()
+            self.expect("}")
+            return inner
+        raise self.error(f"expected a history expression, found "
+                         f"{token.kind} ({token.text!r})")
+
+    def _event(self) -> HistoryExpression:
+        self.expect("@")
+        name = self.expect_name().text
+        params: list[object] = []
+        if self.peek().kind == "(":
+            self.advance()
+            params.append(self._literal())
+            while self.peek().kind == ",":
+                self.advance()
+                params.append(self._literal())
+            self.expect(")")
+        return event(name, *params)
+
+    def _literal(self) -> object:
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return int(token.text)
+        if token.kind == "FLOAT":
+            self.advance()
+            return float(token.text)
+        if token.kind == "STRING" or token.kind in self._NAME_KINDS:
+            self.advance()
+            return token.text
+        raise self.error(f"expected a literal, found {token.kind}")
+
+    def _prefix(self) -> tuple[Send | Receive, HistoryExpression]:
+        token = self.advance()
+        channel = self.expect_name().text
+        label: Send | Receive = (Send(channel) if token.kind == "!"
+                                 else Receive(channel))
+        continuation: HistoryExpression = EPSILON
+        if self.peek().kind == ".":
+            self.advance()
+            continuation = self.term()
+        return label, continuation
+
+    def _choice(self) -> HistoryExpression:
+        open_paren = self.expect("(")
+        if self.peek().kind not in ("!", "?"):
+            raise self.error("a choice must start with a '!' or '?' prefix")
+        branches = [self._prefix()]
+        operator: str | None = None
+        while self.peek().kind in ("+", "++"):
+            token = self.advance()
+            if operator is None:
+                operator = token.kind
+            elif operator != token.kind:
+                raise ParseError("cannot mix '+' (external) and '++' "
+                                 "(internal) in one choice",
+                                 token.line, token.column)
+            branches.append(self._prefix())
+        self.expect(")")
+
+        kinds = {type(label) for label, _ in branches}
+        if operator == "+" or (operator is None and kinds == {Receive}):
+            if kinds != {Receive}:
+                raise ParseError("external choice '+' requires '?' input "
+                                 "prefixes only", open_paren.line,
+                                 open_paren.column)
+            return ExternalChoice(tuple(branches))  # type: ignore[arg-type]
+        if kinds != {Send}:
+            raise ParseError("internal choice '++' requires '!' output "
+                             "prefixes only", open_paren.line,
+                             open_paren.column)
+        return InternalChoice(tuple(branches))  # type: ignore[arg-type]
+
+    def _mu(self) -> HistoryExpression:
+        self.expect("MU")
+        var = self.expect("IDENT").text
+        self.expect("{")
+        body = self.expr()
+        self.expect("}")
+        return Mu(var, body)
+
+    def _open(self) -> HistoryExpression:
+        self.expect("OPEN")
+        token = self.peek()
+        if token.kind != "INT" and token.kind not in self._NAME_KINDS:
+            raise self.error("expected a request identifier")
+        request_id = self.advance().text
+        policy: object | None = None
+        if self.peek().kind == "WITH":
+            self.advance()
+            policy = self._policy_ref()
+        self.expect("{")
+        body = self.expr()
+        self.expect("}")
+        return Request(request_id, policy, body)
+
+    def _frame(self) -> HistoryExpression:
+        self.expect("FRAME")
+        policy = self._policy_ref()
+        self.expect("{")
+        body = self.expr()
+        self.expect("}")
+        return Framing(policy, body)
+
+    def _policy_ref(self) -> object:
+        token = self.expect("IDENT")
+        try:
+            return self._policies[token.text]
+        except KeyError:
+            raise ParseError(f"unknown policy {token.text!r} (not in the "
+                             "parse environment)", token.line,
+                             token.column) from None

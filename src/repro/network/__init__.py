@@ -1,0 +1,24 @@
+"""Networks of located services with nested sessions (Definition 2).
+
+Configurations, the repository of published services, the operational
+rules (Open/Close/Session/Net/Access/Synch), a step-by-step simulator, an
+exhaustive explorer, and the run-time reference monitor the static
+analysis makes redundant.
+"""
+
+from repro.network.config import (Component, Configuration, Leaf,
+                                  SessionNode)
+from repro.network.explorer import (ExplorationResult, explore,
+                                    plan_is_valid_exhaustive)
+from repro.network.monitor import ReferenceMonitor
+from repro.network.repository import Repository
+from repro.network.semantics import (NetworkTransition, network_transitions,
+                                     stuck_components)
+from repro.network.simulator import Simulator, TraceLog
+
+__all__ = [
+    "Component", "Configuration", "Leaf", "SessionNode",
+    "ExplorationResult", "explore", "plan_is_valid_exhaustive",
+    "ReferenceMonitor", "Repository", "NetworkTransition",
+    "network_transitions", "stuck_components", "Simulator", "TraceLog",
+]

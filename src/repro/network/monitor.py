@@ -1,0 +1,74 @@
+"""The run-time reference monitor.
+
+This is the component the paper's static analysis makes redundant: it
+observes the labels a component appends to its history and aborts the
+execution as soon as validity is about to break.  The ablation benchmark
+(EXPERIMENTS.md, experiment A1) runs the same network with and without it
+to quantify the cost that a *valid plan* eliminates.
+
+The heavy lifting is done by
+:class:`repro.core.validity.ValidityMonitor`; this module packages it
+with abort semantics and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import HistoryLabel
+from repro.core.errors import SecurityViolationError
+from repro.core.validity import History, ValidityMonitor
+
+
+@dataclass
+class MonitorStatistics:
+    """Counters describing the work a monitor performed."""
+
+    labels_observed: int = 0
+    events_checked: int = 0
+    framings_opened: int = 0
+    aborts: int = 0
+
+
+class ReferenceMonitor:
+    """An aborting observer of one component's history.
+
+    Feed every label the component is about to log through
+    :meth:`observe`; the monitor raises :class:`SecurityViolationError`
+    (and counts the abort) if the extension would violate an active
+    policy.
+    """
+
+    def __init__(self) -> None:
+        self._monitor = ValidityMonitor()
+        self._history = History()
+        self.statistics = MonitorStatistics()
+
+    @property
+    def history(self) -> History:
+        """The (valid) history observed so far."""
+        return self._history
+
+    def observe(self, label: HistoryLabel) -> None:
+        """Check and record one label; raises on violation."""
+        from repro.core.actions import Event, FrameOpen
+
+        self.statistics.labels_observed += 1
+        if isinstance(label, Event):
+            self.statistics.events_checked += 1
+        elif isinstance(label, FrameOpen):
+            self.statistics.framings_opened += 1
+        if not self._monitor.can_extend(label):
+            self.statistics.aborts += 1
+            raise SecurityViolationError(
+                policy=dict(self._monitor.active_policies()),
+                history=self._history,
+                event=label)
+        self._monitor.extend(label)
+        self._history = self._history.append(label)
+
+    def observe_all(self, labels) -> None:
+        """Observe a sequence of labels, aborting at the first
+        violation."""
+        for label in labels:
+            self.observe(label)

@@ -1,0 +1,61 @@
+"""The global trusted repository of published services (Def. 2).
+
+Services ``R = {ℓ_j : H_j | j ∈ J}`` are hosted at locations and "always
+available for joining sessions": opening a session against ``ℓ_j`` spawns
+a fresh copy of ``H_j`` (the paper assumes services can replicate their
+code at will), so the repository never mutates during execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.core.syntax import HistoryExpression
+from repro.core.wellformed import check_well_formed
+
+
+class Repository:
+    """An immutable map from locations to published service behaviours."""
+
+    __slots__ = ("_services",)
+
+    def __init__(self, services: Mapping[str, HistoryExpression] | None = None,
+                 validate: bool = True) -> None:
+        self._services: dict[str, HistoryExpression] = dict(services or {})
+        if validate:
+            for location, term in self._services.items():
+                check_well_formed(term)
+
+    def publish(self, location: str,
+                term: HistoryExpression) -> "Repository":
+        """A repository extended with ``location : term`` (functional
+        update; publishing over an existing location replaces it)."""
+        check_well_formed(term)
+        services = dict(self._services)
+        services[location] = term
+        return Repository(services, validate=False)
+
+    def get(self, location: str) -> HistoryExpression | None:
+        """The service at *location*, or ``None``."""
+        return self._services.get(location)
+
+    def __getitem__(self, location: str) -> HistoryExpression:
+        return self._services[location]
+
+    def __contains__(self, location: str) -> bool:
+        return location in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def locations(self) -> tuple[str, ...]:
+        """All publishing locations, in insertion order."""
+        return tuple(self._services)
+
+    def items(self) -> Iterator[tuple[str, HistoryExpression]]:
+        """Iterate over (location, service) pairs."""
+        return iter(self._services.items())
+
+    def __str__(self) -> str:
+        inner = ", ".join(self._services)
+        return f"Repository({inner})"

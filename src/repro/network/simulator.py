@@ -1,0 +1,175 @@
+"""Step-by-step execution of networks.
+
+The :class:`Simulator` drives one computation of a configuration under a
+plan vector — the kind of run displayed in Figure 3 of the paper.  It can
+run *monitored* (the angelic semantics: moves whose history extension is
+invalid are filtered out, and the run aborts if a component is blocked by
+the filter) or *unmonitored* (what a deployment without a reference
+monitor does: every enabled move may fire, and validity is simply
+recorded).
+
+Schedulers: deterministic round-robin, seeded random, or caller-supplied
+selection via :meth:`Simulator.fire_matching` — the latter is how the
+test suite replays the exact step sequence of Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.errors import ReproError, SecurityViolationError
+from repro.core.plans import Plan, PlanVector
+from repro.core.validity import History, first_invalid_prefix, is_valid
+from repro.network.config import Configuration
+from repro.network.repository import Repository
+from repro.network.semantics import (NetworkTransition, network_transitions,
+                                     stuck_components)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One fired transition together with the step index."""
+
+    index: int
+    transition: NetworkTransition
+
+
+@dataclass
+class TraceLog:
+    """The record of a whole run."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def labels(self) -> tuple:
+        """The fired labels, in order."""
+        return tuple(record.transition.label for record in self.records)
+
+    def rules(self) -> tuple[str, ...]:
+        """The rules fired, in order (``access``/``open``/``close``/
+        ``synch``)."""
+        return tuple(record.transition.rule for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Simulator:
+    """An explicit-state interpreter for network configurations."""
+
+    def __init__(self, configuration: Configuration,
+                 plans: PlanVector | Plan,
+                 repository: Repository,
+                 monitored: bool = True,
+                 seed: int | None = None) -> None:
+        self.configuration = configuration
+        self.plans = plans
+        self.repository = repository
+        self.monitored = monitored
+        self.log = TraceLog()
+        self._random = random.Random(seed)
+
+    # -- inspection ---------------------------------------------------------
+
+    def available(self) -> list[NetworkTransition]:
+        """The transitions enabled right now."""
+        return list(network_transitions(self.configuration, self.plans,
+                                        self.repository,
+                                        enforce_validity=self.monitored))
+
+    def histories(self) -> tuple[History, ...]:
+        """The per-component histories of the current configuration."""
+        return tuple(component.history
+                     for component in self.configuration.components)
+
+    def is_terminated(self) -> bool:
+        """True iff every component has successfully finished."""
+        return self.configuration.is_terminated()
+
+    def stuck(self) -> tuple[int, ...]:
+        """Indices of currently stuck components."""
+        return stuck_components(self.configuration, self.plans,
+                                self.repository,
+                                enforce_validity=self.monitored)
+
+    def all_histories_valid(self) -> bool:
+        """Validity of every component history (always true in monitored
+        runs; informative in unmonitored ones)."""
+        return all(is_valid(component.history)
+                   for component in self.configuration.components)
+
+    def violations(self) -> list[tuple[int, History]]:
+        """Components whose history is invalid, with the shortest invalid
+        prefix (unmonitored runs only can produce these)."""
+        found = []
+        for index, component in enumerate(self.configuration.components):
+            prefix = first_invalid_prefix(component.history)
+            if prefix is not None:
+                found.append((index, prefix))
+        return found
+
+    # -- stepping -----------------------------------------------------------
+
+    def fire(self, transition: NetworkTransition) -> None:
+        """Fire *transition*, updating configuration and log."""
+        self.log.records.append(TraceRecord(len(self.log.records),
+                                            transition))
+        self.configuration = transition.successor
+
+    def fire_matching(self, predicate: Callable[[NetworkTransition], bool]
+                      ) -> NetworkTransition:
+        """Fire the first available transition satisfying *predicate*.
+
+        Raises :class:`ReproError` when none matches — used to replay
+        prescribed computations (e.g. Figure 3) and fail loudly if the
+        semantics diverges from the script.
+        """
+        for transition in self.available():
+            if predicate(transition):
+                self.fire(transition)
+                return transition
+        raise ReproError("no available transition matches the predicate; "
+                         f"enabled: {[str(t) for t in self.available()]}")
+
+    def step_random(self) -> NetworkTransition | None:
+        """Fire a uniformly random enabled transition (``None`` if
+        none)."""
+        options = self.available()
+        if not options:
+            return None
+        transition = self._random.choice(options)
+        self.fire(transition)
+        return transition
+
+    def run(self, max_steps: int = 10_000,
+            scheduler: Callable[[Sequence[NetworkTransition]],
+                                NetworkTransition] | None = None
+            ) -> TraceLog:
+        """Run until termination, stuckness, or *max_steps*.
+
+        In monitored mode a run that leaves a component security-stuck
+        raises :class:`SecurityViolationError` — the monitor aborted it.
+        """
+        for _ in range(max_steps):
+            options = self.available()
+            if not options:
+                break
+            chosen = (scheduler(options) if scheduler is not None
+                      else self._random.choice(options))
+            self.fire(chosen)
+        if self.monitored:
+            self._raise_if_monitor_aborted()
+        return self.log
+
+    def _raise_if_monitor_aborted(self) -> None:
+        from repro.network.semantics import classify_stuckness
+        for index, component in enumerate(self.configuration.components):
+            plan = (self.plans if isinstance(self.plans, Plan)
+                    else self.plans[index])
+            verdict = classify_stuckness(component, plan, self.repository)
+            if verdict == "security":
+                raise SecurityViolationError(
+                    policy=dict(component.history.active_policies()),
+                    history=component.history,
+                    event="<all enabled events blocked>")

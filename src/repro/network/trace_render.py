@@ -1,0 +1,48 @@
+"""Rendering computations in the style of Figure 3.
+
+Turns a simulator's :class:`~repro.network.simulator.TraceLog` into the
+paper's step-by-step presentation: one line per transition with the
+arrow label (``open_{r,φ}``, ``τ``, events, ``close_{r,φ}``), the
+location that moved, and the resulting per-component histories.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Tau
+from repro.network.simulator import Simulator, TraceLog
+
+
+def describe_transition(transition) -> str:
+    """One Figure-3-style arrow label for a fired transition."""
+    if isinstance(transition.label, Tau):
+        channel = f"({transition.channel})" if transition.channel else ""
+        return f"τ{channel}"
+    return str(transition.label)
+
+
+def render_trace(log: TraceLog, show_components: bool = True) -> str:
+    """A multi-line rendering of a whole run."""
+    lines = []
+    for record in log.records:
+        transition = record.transition
+        where = transition.location or "?"
+        component = (f" [component {transition.component}]"
+                     if show_components else "")
+        lines.append(f"step {record.index + 1:3d}: "
+                     f"--{describe_transition(transition)}--> "
+                     f"at {where}{component}")
+    return "\n".join(lines)
+
+
+def render_state(simulator: Simulator) -> str:
+    """The current configuration in the paper's ``η, S ∥ …`` notation."""
+    parts = []
+    for index, component in enumerate(simulator.configuration.components):
+        parts.append(f"  [{index}] {component.history}, {component.tree}")
+    return "\n".join(parts)
+
+
+def render_run(simulator: Simulator) -> str:
+    """Trace plus final state — the full Figure-3-style report."""
+    return (render_trace(simulator.log) + "\n\nfinal configuration:\n"
+            + render_state(simulator))

@@ -1,0 +1,13 @@
+"""Executable encodings of the paper's figures.
+
+* :mod:`repro.paper.figure2` — the hotel-booking network of Section 2
+  (clients, broker, hotels, policies, plans);
+* :mod:`repro.paper.figure3` — the scripted 13-step computation fragment.
+
+Figure 1 (the policy automaton) lives in
+:func:`repro.policies.library.hotel_policy_automaton`.
+"""
+
+from repro.paper import figure2, figure3
+
+__all__ = ["figure2", "figure3"]

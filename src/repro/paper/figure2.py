@@ -1,0 +1,160 @@
+"""The motivating example of Section 2 (Figure 2 of the paper).
+
+Two clients, a broker and four hotels::
+
+    C1 = open_{1,φ({s1},45,100)}  Req̄.(CoBo.Paȳ + NoAv)  close_{1,…}
+    C2 = open_{2,φ({s1,s3},40,70)} Req̄.(CoBo.Paȳ + NoAv) close_{2,…}
+    Br = Req. open_{3,∅} IdC̄.(Bok + UnA) close_{3,∅} .(CoBō.Pay ⊕ NoAv̄)
+    S1 = αsgn(1)·αp(45)·αta(80) . IdC.(Bok̄ ⊕ UnĀ)
+    S2 = αsgn(2)·αp(70)·αta(100). IdC.(Bok̄ ⊕ UnĀ ⊕ Del̄)
+    S3 = αsgn(3)·αp(90)·αta(100). IdC.(Bok̄ ⊕ UnĀ)
+    S4 = αsgn(4)·αp(50)·αta(90) . IdC.(Bok̄ ⊕ UnĀ)
+
+Hotels are identified by the integers 1–4 (``s1`` of the paper is ``1``).
+The section's claims, all reproduced by the test suite and the F2
+benchmark:
+
+* S1, S3, S4 are compliant with Br; **S2 is not** — it may send ``Del``,
+  which the broker cannot handle;
+* S1 and S4 violate C1's policy ``φ({1},45,100)`` (S1 is black-listed;
+  S4 respects neither threshold);
+* S1 and S3 violate C2's policy ``φ({1,3},40,70)`` (both black-listed);
+* the plan ``π1 = {1↦ℓbr, 3↦ℓs3}`` is **valid** for C1;
+* for C2, routing request 3 to ℓs2 fails compliance and routing it to
+  ℓs3 fails security; routing it to ℓs4 is valid.
+"""
+
+from __future__ import annotations
+
+from repro.core.plans import Plan
+from repro.core.syntax import (HistoryExpression, event, external, internal,
+                               receive, request, send, seq)
+from repro.network.config import Component, Configuration
+from repro.network.repository import Repository
+from repro.policies.library import hotel_policy
+from repro.policies.usage_automata import Policy
+
+#: Locations, following the paper's naming.
+LOC_CLIENT_1 = "lc1"
+LOC_CLIENT_2 = "lc2"
+LOC_BROKER = "lbr"
+LOC_HOTELS = ("ls1", "ls2", "ls3", "ls4")
+
+
+def policy_c1() -> Policy:
+    """``φ1 = φ({s1}, 45, 100)`` — client 1's quality constraints."""
+    return hotel_policy({1}, 45, 100)
+
+
+def policy_c2() -> Policy:
+    """``φ2 = φ({s1, s3}, 40, 70)`` — client 2's quality constraints."""
+    return hotel_policy({1, 3}, 40, 70)
+
+
+def client(request_id: str, policy: Policy) -> HistoryExpression:
+    """The client shape shared by C1 and C2: send the request, then either
+    receive the booking confirmation and pay, or accept unavailability."""
+    body = seq(
+        send("Req"),
+        external(("CoBo", send("Pay")),
+                 ("NoAv", seq())))
+    return request(request_id, policy, body)
+
+
+def client_1() -> HistoryExpression:
+    """``C1`` of Figure 2."""
+    return client("1", policy_c1())
+
+
+def client_2() -> HistoryExpression:
+    """``C2`` of Figure 2."""
+    return client("2", policy_c2())
+
+
+def broker() -> HistoryExpression:
+    """``Br``: receive the request, open a session with a hotel (no
+    policy), forward the client data, relay the answer."""
+    inner = request("3", None,
+                    seq(send("IdC"),
+                        external(("Bok", seq()), ("UnA", seq()))))
+    return seq(
+        receive("Req"),
+        inner,
+        internal(("CoBo", receive("Pay")),
+                 ("NoAv", seq())))
+
+
+def hotel(identifier: int, price: float, rating: float,
+          extra_messages: tuple[str, ...] = ()) -> HistoryExpression:
+    """A hotel: sign, publish price and rating, then answer the broker.
+
+    *extra_messages* adds internal-choice outputs beyond ``Bok``/``UnA``
+    (``S2`` adds ``Del``)."""
+    answers = [("Bok", seq()), ("UnA", seq())]
+    answers.extend((message, seq()) for message in extra_messages)
+    return seq(
+        event("sgn", identifier),
+        event("p", price),
+        event("ta", rating),
+        receive("IdC", internal(*answers)))
+
+
+def hotel_1() -> HistoryExpression:
+    """``S1``: black-listed by both clients."""
+    return hotel(1, 45, 80)
+
+
+def hotel_2() -> HistoryExpression:
+    """``S2``: the non-compliant hotel (may send ``Del``)."""
+    return hotel(2, 70, 100, extra_messages=("Del",))
+
+
+def hotel_3() -> HistoryExpression:
+    """``S3``: compliant; fine for C1, black-listed by C2."""
+    return hotel(3, 90, 100)
+
+
+def hotel_4() -> HistoryExpression:
+    """``S4``: compliant; fails C1's thresholds, fine for C2."""
+    return hotel(4, 50, 90)
+
+
+def repository() -> Repository:
+    """The repository ``R`` with the broker and the four hotels."""
+    return Repository({
+        LOC_BROKER: broker(),
+        "ls1": hotel_1(),
+        "ls2": hotel_2(),
+        "ls3": hotel_3(),
+        "ls4": hotel_4(),
+    })
+
+
+def plan_pi1() -> Plan:
+    """``π1 = {1 ↦ ℓbr, 3 ↦ ℓs3}`` — the valid plan for C1."""
+    return Plan.of({"1": LOC_BROKER, "3": "ls3"})
+
+
+def plan_pi2_bad_compliance() -> Plan:
+    """The plan mapping C2's session to the broker and request 3 to
+    ``ℓs2`` — invalid because S2 is not compliant with Br."""
+    return Plan.of({"2": LOC_BROKER, "3": "ls2"})
+
+
+def plan_pi2_bad_security() -> Plan:
+    """The plan mapping request 3 to ``ℓs3`` for C2 — compliant, but S3
+    is black-listed by C2, so a policy violation occurs."""
+    return Plan.of({"2": LOC_BROKER, "3": "ls3"})
+
+
+def plan_pi2_valid() -> Plan:
+    """The valid plan for C2: route request 3 to ``ℓs4``."""
+    return Plan.of({"2": LOC_BROKER, "3": "ls4"})
+
+
+def initial_configuration() -> Configuration:
+    """The starting configuration of Figure 3:
+    ``ε, ℓc1:C1 ∥ ε, ℓc2:C2``."""
+    return Configuration.of(
+        Component.client(LOC_CLIENT_1, client_1()),
+        Component.client(LOC_CLIENT_2, client_2()))

@@ -1,0 +1,25 @@
+"""Usage automata and security policies (Figure 1 of the paper; ref. [3]).
+
+Policies are parametric finite-state automata in the default-allow style:
+the automaton accepts exactly the forbidden histories.  This package
+provides the automaton engine (:mod:`repro.policies.usage_automata`), the
+declarative guard language (:mod:`repro.policies.guards`), a fluent
+builder (:mod:`repro.policies.builder`) and a library of ready-made
+policy schemas including the paper's hotel policy
+(:mod:`repro.policies.library`).
+"""
+
+from repro.policies.builder import AutomatonBuilder
+from repro.policies.library import (at_most, blacklist, chinese_wall,
+                                    forbid, hotel_policy,
+                                    hotel_policy_automaton, never_after,
+                                    require_before)
+from repro.policies.usage_automata import (Edge, EventPattern, Policy,
+                                           PolicyRunner, UsageAutomaton)
+
+__all__ = [
+    "AutomatonBuilder", "at_most", "blacklist", "chinese_wall", "forbid",
+    "hotel_policy", "hotel_policy_automaton", "never_after",
+    "require_before", "Edge", "EventPattern", "Policy", "PolicyRunner",
+    "UsageAutomaton",
+]

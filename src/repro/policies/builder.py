@@ -1,0 +1,79 @@
+"""A fluent builder for usage automata.
+
+Writing :class:`~repro.policies.usage_automata.UsageAutomaton` literals is
+verbose; the builder lets policy definitions read close to the paper's
+figures::
+
+    phi = (AutomatonBuilder("phi", parameters=("bl", "p", "t"))
+           .state("q1", initial=True)
+           .state("q2").state("q3").state("q4").state("q5")
+           .state("q6", offending=True)
+           .edge("q1", "q2", "sgn", binders=("x",), guard=not_member("x", "bl"))
+           .edge("q1", "q6", "sgn", binders=("x",), guard=member("x", "bl"))
+           ...
+           .build())
+
+States referenced by edges are added implicitly, so most ``state`` calls
+can be omitted.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.guards import TRUE, Guard
+from repro.policies.usage_automata import Edge, EventPattern, UsageAutomaton
+
+
+class AutomatonBuilder:
+    """Accumulates states and edges, then builds a validated automaton."""
+
+    def __init__(self, name: str, parameters: tuple[str, ...] = (),
+                 variables: tuple[str, ...] = ()) -> None:
+        self._name = name
+        self._parameters = tuple(parameters)
+        self._variables = tuple(variables)
+        self._states: set[str] = set()
+        self._initial: str | None = None
+        self._offending: set[str] = set()
+        self._edges: list[Edge] = []
+
+    def state(self, name: str, initial: bool = False,
+              offending: bool = False) -> "AutomatonBuilder":
+        """Declare a state; flags mark it initial and/or offending."""
+        self._states.add(name)
+        if initial:
+            if self._initial is not None and self._initial != name:
+                raise PolicyDefinitionError(
+                    f"two initial states: {self._initial!r} and {name!r}")
+            self._initial = name
+        if offending:
+            self._offending.add(name)
+        return self
+
+    def edge(self, source: str, target: str, event: str,
+             binders: tuple[str, ...] = (),
+             guard: Guard = TRUE) -> "AutomatonBuilder":
+        """Add the transition ``source --@event(binders) when guard--> target``.
+
+        Unknown states are declared implicitly (non-initial,
+        non-offending)."""
+        self._states.add(source)
+        self._states.add(target)
+        self._edges.append(
+            Edge(source, EventPattern(event, tuple(binders), guard), target))
+        return self
+
+    def build(self) -> UsageAutomaton:
+        """Validate and return the automaton."""
+        if self._initial is None:
+            raise PolicyDefinitionError(
+                f"automaton {self._name!r} has no initial state")
+        return UsageAutomaton(
+            name=self._name,
+            states=frozenset(self._states),
+            initial=self._initial,
+            offending=frozenset(self._offending),
+            edges=tuple(self._edges),
+            parameters=self._parameters,
+            variables=self._variables,
+        )

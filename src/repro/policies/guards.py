@@ -1,0 +1,256 @@
+"""Guard expressions for usage-automata edges.
+
+Edges of a usage automaton (Figure 1 of the paper) carry guards such as
+``x ∉ bl``, ``y ≤ p`` or ``z < t``, relating the value bound by the edge to
+the *parameters* of the policy (the black list ``bl`` and the thresholds
+``p`` and ``t`` in the hotel example).
+
+Guards are a small declarative expression language — not raw Python
+callables — so that policies can be printed, compared, serialised and
+instantiated symbolically.  They evaluate against an *environment* mapping
+names (policy parameters, quantified variables and edge-local binders) to
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import PolicyDefinitionError
+
+
+class Guard:
+    """Abstract base class of guard expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        """Truth value of the guard under *env*."""
+        raise NotImplementedError
+
+    def names(self) -> frozenset[str]:
+        """All names referenced by the guard."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Guard") -> "Guard":
+        return And(self, other)
+
+    def __or__(self, other: "Guard") -> "Guard":
+        return Or(self, other)
+
+    def __invert__(self) -> "Guard":
+        return Not(self)
+
+
+class Term:
+    """Abstract base class of guard *terms* (the operands of comparisons)."""
+
+    __slots__ = ()
+
+    def value(self, env: Mapping[str, object]) -> object:
+        """The value denoted by the term under *env*."""
+        raise NotImplementedError
+
+    def names(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A literal constant."""
+
+    constant: object
+
+    def value(self, env: Mapping[str, object]) -> object:
+        return self.constant
+
+    def names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.constant)
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Term):
+    """A reference to a policy parameter, quantified variable or binder."""
+
+    name: str
+
+    def value(self, env: Mapping[str, object]) -> object:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise PolicyDefinitionError(
+                f"guard references unbound name {self.name!r}") from None
+
+    def names(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _as_term(value: object) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Name(value)
+    return Const(value)
+
+
+@dataclass(frozen=True, slots=True)
+class Compare(Guard):
+    """A binary comparison ``left op right`` with ``op`` one of
+    ``== != < <= > >= in notin``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    _OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "in": lambda a, b: a in b,
+        "notin": lambda a, b: a not in b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PolicyDefinitionError(f"unknown comparison {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        """Truth value under *env*.
+
+        Comparisons between incomparable values (e.g. ordering a string
+        payload against a numeric threshold) evaluate to ``False`` rather
+        than raising: a guard that cannot hold simply does not match, so
+        heterogeneous event payloads never crash a monitor.
+        """
+        try:
+            return self._OPS[self.op](self.left.value(env),
+                                      self.right.value(env))
+        except TypeError:
+            return False
+
+    def names(self) -> frozenset[str]:
+        return self.left.names() | self.right.names()
+
+    def __str__(self) -> str:
+        op = {"notin": "not in"}.get(self.op, self.op)
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Guard):
+    """Conjunction of two guards."""
+
+    left: Guard
+    right: Guard
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return self.left.evaluate(env) and self.right.evaluate(env)
+
+    def names(self) -> frozenset[str]:
+        return self.left.names() | self.right.names()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Guard):
+    """Disjunction of two guards."""
+
+    left: Guard
+    right: Guard
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return self.left.evaluate(env) or self.right.evaluate(env)
+
+    def names(self) -> frozenset[str]:
+        return self.left.names() | self.right.names()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Guard):
+    """Negation of a guard."""
+
+    operand: Guard
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return not self.operand.evaluate(env)
+
+    def names(self) -> frozenset[str]:
+        return self.operand.names()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class TrueGuard(Guard):
+    """The always-true guard (unguarded edges)."""
+
+    def evaluate(self, env: Mapping[str, object]) -> bool:
+        return True
+
+    def names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+#: Shared instance of the trivial guard.
+TRUE = TrueGuard()
+
+
+# -- concise constructors ---------------------------------------------------
+
+def eq(left: object, right: object) -> Compare:
+    """``left == right``."""
+    return Compare("==", _as_term(left), _as_term(right))
+
+
+def ne(left: object, right: object) -> Compare:
+    """``left != right``."""
+    return Compare("!=", _as_term(left), _as_term(right))
+
+
+def lt(left: object, right: object) -> Compare:
+    """``left < right``."""
+    return Compare("<", _as_term(left), _as_term(right))
+
+
+def le(left: object, right: object) -> Compare:
+    """``left <= right``."""
+    return Compare("<=", _as_term(left), _as_term(right))
+
+
+def gt(left: object, right: object) -> Compare:
+    """``left > right``."""
+    return Compare(">", _as_term(left), _as_term(right))
+
+
+def ge(left: object, right: object) -> Compare:
+    """``left >= right``."""
+    return Compare(">=", _as_term(left), _as_term(right))
+
+
+def member(left: object, right: object) -> Compare:
+    """``left ∈ right``."""
+    return Compare("in", _as_term(left), _as_term(right))
+
+
+def not_member(left: object, right: object) -> Compare:
+    """``left ∉ right``."""
+    return Compare("notin", _as_term(left), _as_term(right))

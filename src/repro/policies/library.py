@@ -1,0 +1,169 @@
+"""A library of reusable usage-automata schemas.
+
+Contains the paper's Figure 1 automaton (:func:`hotel_policy_automaton`)
+and a collection of classic usage policies (never-after, blacklists,
+bounded use, Chinese wall) used by the examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.policies.builder import AutomatonBuilder
+from repro.policies.guards import ge, gt, le, lt, member, not_member
+from repro.policies.usage_automata import Policy, UsageAutomaton
+
+
+def hotel_policy_automaton() -> UsageAutomaton:
+    """The usage automaton ``φ(bl, p, t)`` of Figure 1.
+
+    Parameters: a black list ``bl`` of hotels, a price threshold ``p`` and
+    a Trip-Advisor rating threshold ``t``.  The policy is violated when
+
+    * a black-listed hotel signs the contract (``αsgn(x)`` with
+      ``x ∈ bl``), or
+    * the selected hotel publishes a price above ``p`` **and** then a
+      rating below ``t``.
+
+    States ``q4``/``q5`` are the all-is-well sinks of the figure; ``q6``
+    is the offending state; unmatched events take the implicit ``*``
+    self-loops.
+    """
+    return (AutomatonBuilder("phi", parameters=("bl", "p", "t"))
+            .state("q1", initial=True)
+            .state("q6", offending=True)
+            .edge("q1", "q2", "sgn", binders=("x",),
+                  guard=not_member("x", "bl"))
+            .edge("q1", "q6", "sgn", binders=("x",),
+                  guard=member("x", "bl"))
+            .edge("q2", "q4", "p", binders=("y",), guard=le("y", "p"))
+            .edge("q2", "q3", "p", binders=("y",), guard=gt("y", "p"))
+            .edge("q3", "q5", "ta", binders=("z",), guard=ge("z", "t"))
+            .edge("q3", "q6", "ta", binders=("z",), guard=lt("z", "t"))
+            .build())
+
+
+def hotel_policy(blacklist: frozenset | set, price: float,
+                 rating: float) -> Policy:
+    """``φ(bl, p, t)`` instantiated — e.g. the paper's
+    ``φ({s1}, 45, 100)`` for client ``C1`` and ``φ({s1,s3}, 40, 70)`` for
+    ``C2``."""
+    return hotel_policy_automaton().instantiate(
+        bl=frozenset(blacklist), p=price, t=rating)
+
+
+def never_after_automaton(first: str, then: str,
+                          same_resource: bool = False) -> UsageAutomaton:
+    """"Never *then* after *first*" — e.g. never write after read.
+
+    With ``same_resource=True`` both events carry one payload and the ban
+    applies per-resource through the quantified variable ``x`` (the full
+    usage-automata semantics of [3]); otherwise the events are matched by
+    name only.
+    """
+    if same_resource:
+        builder = AutomatonBuilder(f"never_{then}_after_{first}",
+                                   variables=("x",))
+        return (builder
+                .state("q0", initial=True)
+                .state("bad", offending=True)
+                .edge("q0", "q1", first, binders=("x",))
+                .edge("q1", "bad", then, binders=("x",))
+                .build())
+    builder = AutomatonBuilder(f"never_{then}_after_{first}")
+    return (builder
+            .state("q0", initial=True)
+            .state("bad", offending=True)
+            .edge("q0", "q1", first)
+            .edge("q1", "bad", then)
+            .build())
+
+
+def never_after(first: str, then: str,
+                same_resource: bool = False) -> Policy:
+    """Instantiated form of :func:`never_after_automaton` (no
+    parameters)."""
+    return never_after_automaton(first, then, same_resource).instantiate()
+
+
+def forbid_automaton(event: str) -> UsageAutomaton:
+    """Firing *event* at all violates the policy."""
+    return (AutomatonBuilder(f"forbid_{event}")
+            .state("q0", initial=True)
+            .state("bad", offending=True)
+            .edge("q0", "bad", event)
+            .build())
+
+
+def forbid(event: str) -> Policy:
+    """Instantiated form of :func:`forbid_automaton`."""
+    return forbid_automaton(event).instantiate()
+
+
+def blacklist_automaton(event: str) -> UsageAutomaton:
+    """``event(x)`` with ``x`` in the parameter set ``bl`` is forbidden."""
+    return (AutomatonBuilder(f"blacklist_{event}", parameters=("bl",))
+            .state("q0", initial=True)
+            .state("bad", offending=True)
+            .edge("q0", "bad", event, binders=("x",),
+                  guard=member("x", "bl"))
+            .build())
+
+
+def blacklist(event: str, banned: frozenset | set) -> Policy:
+    """Instantiated form of :func:`blacklist_automaton`."""
+    return blacklist_automaton(event).instantiate(bl=frozenset(banned))
+
+
+def at_most_automaton(event: str, bound: int) -> UsageAutomaton:
+    """At most *bound* occurrences of *event* are allowed."""
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    builder = AutomatonBuilder(f"at_most_{bound}_{event}")
+    builder.state("c0", initial=True)
+    builder.state("bad", offending=True)
+    for count in range(bound):
+        builder.edge(f"c{count}", f"c{count + 1}", event)
+    builder.edge(f"c{bound}", "bad", event)
+    return builder.build()
+
+
+def at_most(event: str, bound: int) -> Policy:
+    """Instantiated form of :func:`at_most_automaton`."""
+    return at_most_automaton(event, bound).instantiate()
+
+
+def require_before_automaton(prerequisite: str, action: str) -> UsageAutomaton:
+    """*action* may only be fired after *prerequisite* has been fired."""
+    return (AutomatonBuilder(f"require_{prerequisite}_before_{action}")
+            .state("locked", initial=True)
+            .state("bad", offending=True)
+            .edge("locked", "unlocked", prerequisite)
+            .edge("locked", "bad", action)
+            .build())
+
+
+def require_before(prerequisite: str, action: str) -> Policy:
+    """Instantiated form of :func:`require_before_automaton`."""
+    return require_before_automaton(prerequisite, action).instantiate()
+
+
+def chinese_wall_automaton(access: str) -> UsageAutomaton:
+    """The Chinese-wall policy over ``access(dataset)``: once dataset
+    ``d1`` has been touched, no *different* dataset ``d2`` may be.
+
+    Uses two quantified variables, exercising the multi-variable witness
+    machinery of the runner.
+    """
+    from repro.policies.guards import ne
+    return (AutomatonBuilder(f"chinese_wall_{access}",
+                             variables=("d1", "d2"))
+            .state("q0", initial=True)
+            .state("bad", offending=True)
+            .edge("q0", "q1", access, binders=("d1",))
+            .edge("q1", "bad", access, binders=("d2",),
+                  guard=ne("d1", "d2"))
+            .build())
+
+
+def chinese_wall(access: str) -> Policy:
+    """Instantiated form of :func:`chinese_wall_automaton`."""
+    return chinese_wall_automaton(access).instantiate()

@@ -1,0 +1,177 @@
+"""JSON (de)serialisation of usage automata and policies.
+
+Policies are contracts between organisations; a deployable toolchain
+must be able to ship them between repositories, version them, and audit
+them — so automata and instantiated policies round-trip through plain
+JSON-compatible dictionaries:
+
+* guards serialise as a small expression tree
+  (``{"kind": "compare", "op": "<=", …}``);
+* frozensets and tuples in instantiation arguments are tagged
+  (``{"@set": […]}`` / ``{"@tuple": […]}``) so the round trip restores
+  hashable values exactly;
+* :func:`dumps`/:func:`loads` wrap the dictionary forms with
+  :mod:`json`.
+
+``automaton_from_dict(automaton_to_dict(a)) == a`` and likewise for
+policies — checked by unit and property-based tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.guards import (TRUE, And, Compare, Const, Guard, Name,
+                                   Not, Or, Term, TrueGuard)
+from repro.policies.usage_automata import (Edge, EventPattern, Policy,
+                                           UsageAutomaton)
+
+
+# -- guards -----------------------------------------------------------------
+
+def guard_to_dict(guard: Guard) -> dict:
+    """Serialise a guard expression."""
+    if isinstance(guard, TrueGuard):
+        return {"kind": "true"}
+    if isinstance(guard, Compare):
+        return {"kind": "compare", "op": guard.op,
+                "left": _term_to_dict(guard.left),
+                "right": _term_to_dict(guard.right)}
+    if isinstance(guard, And):
+        return {"kind": "and", "left": guard_to_dict(guard.left),
+                "right": guard_to_dict(guard.right)}
+    if isinstance(guard, Or):
+        return {"kind": "or", "left": guard_to_dict(guard.left),
+                "right": guard_to_dict(guard.right)}
+    if isinstance(guard, Not):
+        return {"kind": "not", "operand": guard_to_dict(guard.operand)}
+    raise TypeError(f"unknown guard {guard!r}")
+
+
+def guard_from_dict(data: dict) -> Guard:
+    """Deserialise a guard expression."""
+    kind = data.get("kind")
+    if kind == "true":
+        return TRUE
+    if kind == "compare":
+        return Compare(data["op"], _term_from_dict(data["left"]),
+                       _term_from_dict(data["right"]))
+    if kind == "and":
+        return And(guard_from_dict(data["left"]),
+                   guard_from_dict(data["right"]))
+    if kind == "or":
+        return Or(guard_from_dict(data["left"]),
+                  guard_from_dict(data["right"]))
+    if kind == "not":
+        return Not(guard_from_dict(data["operand"]))
+    raise PolicyDefinitionError(f"unknown guard kind {kind!r}")
+
+
+def _term_to_dict(term: Term) -> dict:
+    if isinstance(term, Name):
+        return {"kind": "name", "name": term.name}
+    if isinstance(term, Const):
+        return {"kind": "const", "value": encode_value(term.constant)}
+    raise TypeError(f"unknown guard term {term!r}")
+
+
+def _term_from_dict(data: dict) -> Term:
+    kind = data.get("kind")
+    if kind == "name":
+        return Name(data["name"])
+    if kind == "const":
+        return Const(decode_value(data["value"]))
+    raise PolicyDefinitionError(f"unknown term kind {kind!r}")
+
+
+# -- values -----------------------------------------------------------------
+
+def encode_value(value: object) -> object:
+    """Encode a (possibly frozenset/tuple-valued) argument for JSON."""
+    if isinstance(value, frozenset):
+        return {"@set": sorted((encode_value(v) for v in value),
+                               key=repr)}
+    if isinstance(value, tuple):
+        return {"@tuple": [encode_value(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialise value {value!r}")
+
+
+def decode_value(data: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, dict):
+        if "@set" in data:
+            return frozenset(decode_value(v) for v in data["@set"])
+        if "@tuple" in data:
+            return tuple(decode_value(v) for v in data["@tuple"])
+        raise PolicyDefinitionError(f"unknown value encoding {data!r}")
+    return data
+
+
+# -- automata and policies ---------------------------------------------------
+
+def automaton_to_dict(automaton: UsageAutomaton) -> dict:
+    """Serialise a usage automaton."""
+    return {
+        "name": automaton.name,
+        "states": sorted(automaton.states),
+        "initial": automaton.initial,
+        "offending": sorted(automaton.offending),
+        "parameters": list(automaton.parameters),
+        "variables": list(automaton.variables),
+        "edges": [{
+            "source": edge.source,
+            "target": edge.target,
+            "event": edge.pattern.event,
+            "binders": list(edge.pattern.binders),
+            "guard": guard_to_dict(edge.pattern.guard),
+        } for edge in automaton.edges],
+    }
+
+
+def automaton_from_dict(data: dict) -> UsageAutomaton:
+    """Deserialise a usage automaton (re-running all validation)."""
+    edges = tuple(
+        Edge(item["source"],
+             EventPattern(item["event"], tuple(item["binders"]),
+                          guard_from_dict(item["guard"])),
+             item["target"])
+        for item in data["edges"])
+    return UsageAutomaton(
+        name=data["name"],
+        states=frozenset(data["states"]),
+        initial=data["initial"],
+        offending=frozenset(data["offending"]),
+        edges=edges,
+        parameters=tuple(data["parameters"]),
+        variables=tuple(data["variables"]),
+    )
+
+
+def policy_to_dict(policy: Policy) -> dict:
+    """Serialise an instantiated policy (automaton + arguments)."""
+    return {
+        "automaton": automaton_to_dict(policy.automaton),
+        "arguments": [[name, encode_value(value)]
+                      for name, value in policy.arguments],
+    }
+
+
+def policy_from_dict(data: dict) -> Policy:
+    """Deserialise an instantiated policy."""
+    automaton = automaton_from_dict(data["automaton"])
+    arguments = {name: decode_value(value)
+                 for name, value in data["arguments"]}
+    return automaton.instantiate(**arguments)
+
+
+def dumps(policy: Policy, **json_kwargs) -> str:
+    """Policy → JSON text."""
+    return json.dumps(policy_to_dict(policy), **json_kwargs)
+
+
+def loads(text: str) -> Policy:
+    """JSON text → policy."""
+    return policy_from_dict(json.loads(text))

@@ -1,0 +1,414 @@
+"""Usage automata: parametric finite-state automata for security policies.
+
+Usage automata (Bartoletti [3]; Figure 1 of the paper) specify *regular
+properties of execution histories* in the **default-allow** style: the
+automaton accepts exactly the *forbidden* traces, and a history respects
+the policy when it is **not** accepted.
+
+An automaton is parametric in two ways:
+
+* **parameters** are chosen by the client when the policy is instantiated —
+  the hotel policy ``φ(bl, p, t)`` of Figure 1 has the black list ``bl``
+  and the thresholds ``p`` and ``t``;
+* **variables** are universally quantified over resources: a trace violates
+  the policy when *some* assignment of the variables makes an accepting run
+  possible (e.g. "never read *x* after write *x*" for any file ``x``).
+
+Edges carry an event pattern: the event name, a tuple of *binders* naming
+the event's payload positions, and a guard over binders, variables and
+parameters.  Under a fixed instantiation, events matched by no edge take an
+implicit self-loop (the ``*`` edges of Figure 1), and offending states are
+absorbing, so violation is prefix-monotone — the formal counterpart of
+"nothing bad happened so far".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.actions import Event
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.guards import TRUE, Guard
+
+
+@dataclass(frozen=True, slots=True)
+class EventPattern:
+    """A pattern ``α_event(b1, …, bk) when guard`` on an edge.
+
+    Each binder name either denotes a quantified variable of the automaton
+    (then the event payload must equal the variable's value) or is local to
+    the edge (then it is bound to the payload for the guard's benefit).
+
+    A pattern with *no* binders is payload-agnostic: it matches an event
+    with the right name and **any** arity.  A pattern with binders only
+    matches events of exactly that arity.
+    """
+
+    event: str
+    binders: tuple[str, ...] = ()
+    guard: Guard = TRUE
+
+    def __str__(self) -> str:
+        inner = ",".join(self.binders)
+        head = f"@{self.event}({inner})" if self.binders else f"@{self.event}"
+        if self.guard == TRUE:
+            return head
+        return f"{head} when {self.guard}"
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A transition ``source --pattern--> target`` of a usage automaton."""
+
+    source: str
+    pattern: EventPattern
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.pattern}--> {self.target}"
+
+
+#: Sentinel value of a quantified variable meaning "a resource different
+#: from every value occurring in the trace" — such a variable matches no
+#: event payload.
+STAR = object()
+
+
+@dataclass(frozen=True)
+class UsageAutomaton:
+    """A parametric usage automaton ``φ(parameters)``.
+
+    ``offending`` are the accepting states: reaching one of them (under
+    some assignment of ``variables``) means the policy is violated.
+    """
+
+    name: str
+    states: frozenset[str]
+    initial: str
+    offending: frozenset[str]
+    edges: tuple[Edge, ...]
+    parameters: tuple[str, ...] = ()
+    variables: tuple[str, ...] = ()
+
+    _edges_from: dict[str, tuple[Edge, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise PolicyDefinitionError(
+                f"initial state {self.initial!r} not among the states")
+        unknown = self.offending - self.states
+        if unknown:
+            raise PolicyDefinitionError(
+                f"offending states {sorted(unknown)} not among the states")
+        declared = set(self.parameters) | set(self.variables)
+        if len(declared) < len(self.parameters) + len(self.variables):
+            raise PolicyDefinitionError(
+                "parameters and variables must have distinct names")
+        by_source: dict[str, list[Edge]] = {}
+        for edge in self.edges:
+            if edge.source not in self.states or edge.target not in self.states:
+                raise PolicyDefinitionError(f"edge {edge} uses unknown states")
+            allowed = declared | set(edge.pattern.binders)
+            free = edge.pattern.guard.names() - allowed
+            if free:
+                raise PolicyDefinitionError(
+                    f"guard of edge {edge} references unbound names "
+                    f"{sorted(free)}")
+            by_source.setdefault(edge.source, []).append(edge)
+        object.__setattr__(self, "_edges_from",
+                           {src: tuple(edges)
+                            for src, edges in by_source.items()})
+
+    # -- instantiation ------------------------------------------------------
+
+    def instantiate(self, **arguments: object) -> "Policy":
+        """Fix the parameters, producing an enforceable :class:`Policy`.
+
+        Set-valued arguments are normalised to ``frozenset`` so policies
+        stay hashable (they are used as framing labels).
+        """
+        missing = set(self.parameters) - set(arguments)
+        extra = set(arguments) - set(self.parameters)
+        if missing or extra:
+            raise PolicyDefinitionError(
+                f"instantiation of {self.name}: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}")
+        normalised = tuple(
+            (param, _normalise(arguments[param])) for param in self.parameters)
+        return Policy(self, normalised)
+
+    # -- runs ---------------------------------------------------------------
+
+    def edges_from(self, state: str) -> tuple[Edge, ...]:
+        """Explicit edges leaving *state*."""
+        return self._edges_from.get(state, ())
+
+    def step_concrete(self, state: str, event: Event,
+                      env: Mapping[str, object]) -> frozenset[str]:
+        """Successor states on *event* under a *complete* environment
+        (parameters and quantified variables all bound).
+
+        Implements the completed-automaton semantics: the union of the
+        targets of all matching edges, or the implicit self-loop ``{state}``
+        when no edge matches.  Offending states are absorbing.
+        """
+        if state in self.offending:
+            return frozenset({state})
+        targets: set[str] = set()
+        for edge in self.edges_from(state):
+            local = self._match(edge.pattern, event, env)
+            if local is None:
+                continue
+            if edge.pattern.guard.evaluate(local):
+                targets.add(edge.target)
+        if not targets:
+            return frozenset({state})
+        return frozenset(targets)
+
+    def _match(self, pattern: EventPattern, event: Event,
+               env: Mapping[str, object]) -> dict[str, object] | None:
+        """Unify *pattern* against *event* under *env*.
+
+        Returns the environment extended with the edge-local binders on
+        success, ``None`` on mismatch.
+        """
+        if pattern.event != event.name:
+            return None
+        if not pattern.binders:
+            # A binder-less pattern is payload-agnostic: ``@charge``
+            # matches ``charge()``, ``charge(99)``, … — the common case
+            # for name-only policies such as never-after.
+            return dict(env)
+        if len(pattern.binders) != len(event.params):
+            return None
+        local = dict(env)
+        for binder, payload in zip(pattern.binders, event.params):
+            if binder in self.variables:
+                bound = env[binder]
+                if bound is STAR or bound != payload:
+                    return None
+            else:
+                local[binder] = payload
+        return local
+
+    def to_dot(self) -> str:
+        """A Graphviz rendering of the automaton."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for state in sorted(self.states):
+            shape = "doublecircle" if state in self.offending else "circle"
+            lines.append(f'  "{state}" [shape={shape}];')
+        lines.append(f'  init [shape=point]; init -> "{self.initial}";')
+        for edge in self.edges:
+            text = str(edge.pattern).replace('"', '\\"')
+            lines.append(
+                f'  "{edge.source}" -> "{edge.target}" [label="{text}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _normalise(value: object) -> object:
+    if isinstance(value, (set, frozenset)):
+        return frozenset(value)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A usage automaton with its parameters fixed — the ``φ`` of framings.
+
+    Policies compare (and hash) by automaton name and argument values, so
+    the two instantiations ``φ({s1},45,100)`` and ``φ({s1,s3},40,70)`` of
+    the paper's example are distinct framing labels.
+    """
+
+    automaton: UsageAutomaton = field(compare=False, repr=False)
+    arguments: tuple[tuple[str, object], ...] = ()
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key",
+                           (self.automaton.name, self.arguments))
+
+    @property
+    def name(self) -> str:
+        """The automaton (schema) name."""
+        return self.automaton.name
+
+    def environment(self) -> dict[str, object]:
+        """The parameter environment of this instantiation."""
+        return dict(self.arguments)
+
+    # -- trace checking -----------------------------------------------------
+
+    def accepts(self, trace: Sequence[Event]) -> bool:
+        """True iff *trace* is accepted, i.e. **violates** the policy
+        (default-allow: the automaton recognises the forbidden traces)."""
+        runner = self.runner()
+        for event in trace:
+            runner.step(event)
+        return runner.in_violation
+
+    def respects(self, trace: Sequence[Event]) -> bool:
+        """True iff *trace* respects the policy (``trace ⊨ φ``)."""
+        return not self.accepts(trace)
+
+    def first_violation(self, trace: Sequence[Event]) -> int | None:
+        """Index of the event whose firing first violates the policy, or
+        ``None`` if the whole trace is respected."""
+        runner = self.runner()
+        for index, event in enumerate(trace):
+            runner.step(event)
+            if runner.in_violation:
+                return index
+        return None
+
+    def runner(self) -> "PolicyRunner":
+        """A fresh incremental runner for this policy."""
+        return PolicyRunner(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Policy):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.name
+        rendered = []
+        for _, value in self.arguments:
+            if isinstance(value, frozenset):
+                inner = ",".join(str(v) for v in sorted(value, key=str))
+                rendered.append("{" + inner + "}")
+            else:
+                rendered.append(str(value))
+        return f"{self.name}({','.join(rendered)})"
+
+
+class PolicyRunner:
+    """Exact incremental evaluation of a policy over a growing trace.
+
+    For automata with quantified variables the runner maintains one
+    state-set per assignment of the variables to *witnesses*: values seen
+    in the trace so far, or the sentinel :data:`STAR` ("any value not in
+    the trace").  When a fresh value arrives, every assignment with STAR
+    coordinates forks — the fork's past run is provably identical to the
+    STAR run, because a variable bound to a value matches no event before
+    that value first occurs.
+
+    This realises, incrementally and exactly, the finite instantiation
+    argument of [3] used to make usage automata model-checkable.
+    """
+
+    __slots__ = ("policy", "_automaton", "_params", "_table", "_seen",
+                 "_violated")
+
+    def __init__(self, policy: Policy) -> None:
+        self.policy = policy
+        self._automaton = policy.automaton
+        self._params = policy.environment()
+        variables = self._automaton.variables
+        initial_sigma = tuple((var, STAR) for var in variables)
+        self._table: dict[tuple, frozenset[str]] = {
+            initial_sigma: frozenset({self._automaton.initial})}
+        self._seen: set[object] = set()
+        self._violated = False
+
+    @property
+    def in_violation(self) -> bool:
+        """True iff the trace consumed so far violates the policy."""
+        return self._violated
+
+    def step(self, event: Event) -> bool:
+        """Consume one event; returns :attr:`in_violation` afterwards."""
+        self._fork_for_new_values(event)
+        automaton = self._automaton
+        offending = automaton.offending
+        new_table: dict[tuple, frozenset[str]] = {}
+        for sigma, states in self._table.items():
+            env = dict(self._params)
+            env.update(sigma)
+            successors: set[str] = set()
+            for state in states:
+                successors |= automaton.step_concrete(state, event, env)
+            if successors & offending:
+                self._violated = True
+            new_table[sigma] = frozenset(successors)
+        self._table = new_table
+        return self._violated
+
+    def _fork_for_new_values(self, event: Event) -> None:
+        fresh = [value for value in event.params
+                 if value not in self._seen]
+        for value in fresh:
+            if value in self._seen:
+                continue
+            self._seen.add(value)
+            additions: dict[tuple, frozenset[str]] = {}
+            for sigma, states in self._table.items():
+                star_positions = [i for i, (_, val) in enumerate(sigma)
+                                  if val is STAR]
+                for size in range(1, len(star_positions) + 1):
+                    for combo in itertools.combinations(star_positions, size):
+                        forked = list(sigma)
+                        for position in combo:
+                            var, _ = forked[position]
+                            forked[position] = (var, value)
+                        additions[tuple(forked)] = states
+            self._table.update(additions)
+
+    def current_states(self) -> dict[tuple, frozenset[str]]:
+        """The internal table (assignment → automaton states); exposed for
+        white-box tests and debugging."""
+        return dict(self._table)
+
+    def freeze(self) -> "FrozenRunnerState":
+        """A hashable snapshot of the runner, for use as (part of) a model
+        checker state."""
+        return FrozenRunnerState(
+            table=frozenset(self._table.items()),
+            seen=frozenset(self._seen),
+            violated=self._violated)
+
+    @classmethod
+    def from_frozen(cls, policy: Policy,
+                    frozen: "FrozenRunnerState") -> "PolicyRunner":
+        """Rebuild a runner from a :meth:`freeze` snapshot."""
+        runner = cls(policy)
+        runner._table = dict(frozen.table)
+        runner._seen = set(frozen.seen)
+        runner._violated = frozen.violated
+        return runner
+
+
+@dataclass(frozen=True)
+class FrozenRunnerState:
+    """An immutable snapshot of a :class:`PolicyRunner`.
+
+    The witness table is a ``frozenset`` of (assignment, states) pairs, so
+    snapshots hash identically regardless of insertion order — exactly
+    what the abstract state of the security model checker needs.
+    """
+
+    table: frozenset
+    seen: frozenset
+    violated: bool
+
+
+def assignments(variables: Sequence[str], universe: Iterable[object]
+                ) -> Iterable[dict[str, object]]:
+    """All assignments of *variables* to *universe* ∪ {STAR}.
+
+    The eager enumeration used by the declarative (non-incremental)
+    checker; exported for tests that cross-validate the runner.
+    """
+    pool = list(universe) + [STAR]
+    for values in itertools.product(pool, repeat=len(variables)):
+        yield dict(zip(variables, values))

@@ -1,0 +1,19 @@
+"""Quantitative extension: costs, budget policies, cost-aware planning.
+
+Realises the future work the paper sketches in Section 5 ("include
+quantitative information in the security policies, along the lines of
+[14]"): per-event cost models, budget policies compiled to ordinary
+usage automata, and worst-case pricing/ranking of valid plans.
+"""
+
+from repro.quantitative.costs import (CostModel, UNBOUNDED, history_cost,
+                                      trace_cost, worst_case_cost)
+from repro.quantitative.planning import (PricedPlan, cheapest_valid_plan,
+                                         plan_cost, priced_valid_plans)
+from repro.quantitative.policies import (budget_automaton, budget_policy,
+                                         cost_model_policy)
+
+__all__ = ["CostModel", "UNBOUNDED", "history_cost", "trace_cost",
+           "worst_case_cost", "PricedPlan", "cheapest_valid_plan",
+           "plan_cost", "priced_valid_plans", "budget_automaton",
+           "budget_policy", "cost_model_policy"]

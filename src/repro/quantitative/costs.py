@@ -1,0 +1,135 @@
+"""Cost models over access events.
+
+Section 5 of the paper names, as a major line of future work, "extending
+our verification methodology to include quantitative information in the
+security policies, along the lines of [14]" (Degano–Ferrari–Mezzetti,
+*On quantitative security policies*), where activities carry rates.
+This package realises that extension on top of the unmodified core:
+
+* a :class:`CostModel` assigns a non-negative cost (rate, latency,
+  monetary price, energy …) to each access event;
+* histories, traces and whole behaviours (LTSs) can be priced —
+  :func:`history_cost`, :func:`worst_case_cost`;
+* quantitative *policies* (budgets over accumulated cost) are compiled
+  into ordinary usage automata (:mod:`repro.quantitative.policies`), so
+  every existing checker — the monitor, the session-product model
+  checker, the BPA pipeline — enforces them without modification;
+* the planner gains a cost-aware ranking
+  (:mod:`repro.quantitative.planning`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.actions import Event
+from repro.core.validity import History
+from repro.contracts.lts import LTS
+
+#: Sentinel returned by :func:`worst_case_cost` for diverging behaviours.
+UNBOUNDED = float("inf")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event-name costs, with an optional default for unlisted names.
+
+    Costs must be non-negative (they model consumption of a resource).
+    The model is immutable and hashable, so it can parameterise cached
+    analyses.
+    """
+
+    weights: tuple[tuple[str, float], ...] = ()
+    default: float = 0.0
+
+    @staticmethod
+    def of(weights: Mapping[str, float],
+           default: float = 0.0) -> "CostModel":
+        """Build from a mapping; validates non-negativity."""
+        items = tuple(sorted(weights.items()))
+        for name, weight in items:
+            if weight < 0:
+                raise ValueError(
+                    f"cost of {name!r} is negative ({weight})")
+        if default < 0:
+            raise ValueError(f"default cost is negative ({default})")
+        return CostModel(items, default)
+
+    def cost_of(self, event: Event) -> float:
+        """The cost of one event."""
+        for name, weight in self.weights:
+            if name == event.name:
+                return weight
+        return self.default
+
+    def names(self) -> frozenset[str]:
+        """Event names with an explicit cost."""
+        return frozenset(name for name, _ in self.weights)
+
+
+def trace_cost(model: CostModel, trace: Iterable[Event]) -> float:
+    """Total cost of a sequence of events."""
+    return sum(model.cost_of(event) for event in trace)
+
+
+def history_cost(model: CostModel, history: History) -> float:
+    """Total cost of the events of a history (framings are free)."""
+    return trace_cost(model, history.flatten())
+
+
+def worst_case_cost(model: CostModel, lts: LTS) -> float:
+    """The supremum of trace costs over all runs of *lts*.
+
+    Labels are inspected for embedded events: plain
+    :class:`~repro.core.actions.Event` labels and the ``appends`` of
+    session-product labels both count.  Behaviours that can repeat a
+    positive-cost cycle price at :data:`UNBOUNDED`; zero-cost cycles are
+    fine (longest-path over the cost-relevant DAG).
+
+    The computation is a Bellman-Ford-style relaxation with cycle
+    detection, linear in states × transitions × states.
+    """
+    states = list(lts.states)
+    index = {state: i for i, state in enumerate(states)}
+    best = [float("-inf")] * len(states)
+    best[index[lts.initial]] = 0.0
+
+    edges = []
+    for state in states:
+        for label, target in lts.transitions[state]:
+            edges.append((index[state], index[target],
+                          _label_cost(model, label)))
+
+    for _ in range(len(states)):
+        changed = False
+        for source, target, weight in edges:
+            if best[source] == float("-inf"):
+                continue
+            candidate = best[source] + weight
+            if candidate > best[target] + 1e-12:
+                best[target] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        # Without positive-cost cycles, longest paths are simple and the
+        # relaxation converges within |V| rounds; any edge still
+        # relaxable therefore witnesses a reachable positive cycle.
+        for source, target, weight in edges:
+            if best[source] > float("-inf") \
+                    and best[source] + weight > best[target] + 1e-12:
+                return UNBOUNDED
+
+    finite = [value for value in best if value > float("-inf")]
+    return max(finite) if finite else 0.0
+
+
+def _label_cost(model: CostModel, label: object) -> float:
+    if isinstance(label, Event):
+        return model.cost_of(label)
+    appends = getattr(label, "appends", None)
+    if appends:
+        return sum(model.cost_of(item) for item in appends
+                   if isinstance(item, Event))
+    return 0.0

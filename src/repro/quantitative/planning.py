@@ -1,0 +1,76 @@
+"""Cost-aware plan synthesis.
+
+Valid plans are not all equal: routing a request to one service or
+another changes the events fired during the session, hence its cost
+under a :class:`~repro.quantitative.costs.CostModel`.  This module
+prices candidate plans by the **worst-case** total event cost of the
+assembled behaviour (the session product already enumerates every run)
+and ranks the planner's valid plans by it.
+
+``cheapest_valid_plan`` is the quantitative counterpart of Section 5's
+procedure: among the orchestrations that are secure and unfailing, pick
+the one with the best price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.planner import PlanAnalysis, find_valid_plans
+from repro.analysis.session_product import assemble
+from repro.core.plans import Plan
+from repro.core.syntax import HistoryExpression
+from repro.network.repository import Repository
+from repro.quantitative.costs import UNBOUNDED, CostModel, worst_case_cost
+
+
+@dataclass(frozen=True)
+class PricedPlan:
+    """A statically valid plan together with its worst-case cost."""
+
+    analysis: PlanAnalysis
+    cost: float
+
+    @property
+    def plan(self) -> Plan:
+        return self.analysis.plan
+
+    def __str__(self) -> str:
+        price = "unbounded" if self.cost == UNBOUNDED else f"{self.cost:g}"
+        return f"{self.plan} @ {price}"
+
+
+def plan_cost(client: HistoryExpression, plan: Plan,
+              repository: Repository, model: CostModel,
+              location: str = "client") -> float:
+    """Worst-case total event cost of running *client* under *plan*."""
+    lts = assemble(client, plan, repository, location)
+    return worst_case_cost(model, lts)
+
+
+def priced_valid_plans(client: HistoryExpression, repository: Repository,
+                       model: CostModel, location: str = "client",
+                       max_plans: int | None = None
+                       ) -> tuple[PricedPlan, ...]:
+    """All valid plans for *client*, priced and sorted cheapest-first.
+
+    Ties are broken by the plan's string form, keeping the order
+    deterministic."""
+    result = find_valid_plans(client, repository, location=location,
+                              max_plans=max_plans)
+    priced = [PricedPlan(analysis,
+                         plan_cost(client, analysis.plan, repository,
+                                   model, location))
+              for analysis in result.valid_plans]
+    priced.sort(key=lambda entry: (entry.cost, str(entry.plan)))
+    return tuple(priced)
+
+
+def cheapest_valid_plan(client: HistoryExpression,
+                        repository: Repository, model: CostModel,
+                        location: str = "client",
+                        max_plans: int | None = None) -> PricedPlan | None:
+    """The cheapest valid plan, or ``None`` when no plan is valid."""
+    priced = priced_valid_plans(client, repository, model,
+                                location=location, max_plans=max_plans)
+    return priced[0] if priced else None

@@ -1,0 +1,73 @@
+"""Quantitative policies compiled to usage automata.
+
+A *budget policy* bounds the cost a session may accumulate: with integer
+per-event costs and a finite budget, the accumulator is a bounded
+counter, so the policy is a plain regular property — we compile it to an
+ordinary :class:`~repro.policies.usage_automata.UsageAutomaton` whose
+states are the spent amounts (``spent_0 … spent_B`` plus the offending
+overrun sink).
+
+Because the result is a standard :class:`Policy`, **every** existing
+mechanism enforces it unchanged: ``frame budget { … }`` framings, the
+run-time monitor, the angelic network semantics, the session-product
+security model checker and the BPA pipeline.  This is exactly the
+"quantitative information in the security policies" extension the paper
+sketches as future work (ref. [14]).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.policies.builder import AutomatonBuilder
+from repro.policies.usage_automata import Policy, UsageAutomaton
+from repro.quantitative.costs import CostModel
+
+
+def budget_automaton(name: str, weights: Mapping[str, int],
+                     budget: int) -> UsageAutomaton:
+    """The counting automaton for "spend at most *budget*".
+
+    *weights* gives the integer cost of each charged event name;
+    uncharged events are free (the implicit self-loops).  Zero-cost
+    entries are allowed and simply ignored.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    weight_map = dict(weights)  # accepts mappings, pair-iterables and {}
+    charged = {event: int(cost) for event, cost in weight_map.items()
+               if cost != 0}
+    for event, cost in charged.items():
+        if cost < 0:
+            raise ValueError(f"cost of {event!r} is negative")
+
+    builder = AutomatonBuilder(name)
+    builder.state("spent_0", initial=True)
+    builder.state("overrun", offending=True)
+    for spent in range(budget + 1):
+        for event, cost in charged.items():
+            total = spent + cost
+            target = f"spent_{total}" if total <= budget else "overrun"
+            builder.edge(f"spent_{spent}", target, event)
+    return builder.build()
+
+
+def budget_policy(name: str, weights: Mapping[str, int],
+                  budget: int) -> Policy:
+    """An enforceable budget policy (an instantiated automaton)."""
+    return budget_automaton(name, weights, budget).instantiate()
+
+
+def cost_model_policy(name: str, model: CostModel, budget: int) -> Policy:
+    """Budget policy from a :class:`CostModel` (explicit weights only;
+    the model's default must be 0 — a non-zero default would charge
+    every event name, which a finite automaton alphabet cannot
+    enumerate)."""
+    if model.default != 0:
+        raise ValueError("cost_model_policy requires a zero default cost")
+    weights = {event: int(cost) for event, cost in model.weights}
+    for (event, original), rounded in zip(model.weights, weights.values()):
+        if original != rounded:
+            raise ValueError(
+                f"cost of {event!r} is not an integer ({original})")
+    return budget_policy(name, weights, budget)

@@ -1,0 +1,117 @@
+"""Tests for capacity-aware (bounded-availability) plan checking."""
+
+from repro.analysis.capacity import (check_capacities,
+                                     observed_concurrent_demand,
+                                     static_concurrent_demand)
+from repro.core.plans import Plan, PlanVector
+from repro.core.syntax import receive, request, send, seq
+from repro.network.config import Component, Configuration
+from repro.network.repository import Repository
+from repro.paper import figure2
+
+
+def simple_worker():
+    return seq(receive("go"), send("done"))
+
+
+def simple_client(rid):
+    return request(rid, None, seq(send("go"), receive("done")))
+
+
+class TestStaticDemand:
+    def test_single_client_single_request(self):
+        repo = Repository({"w": simple_worker()})
+        demand = static_concurrent_demand(
+            [(simple_client("r"), Plan.single("r", "w"))], repo, "w")
+        assert demand == 1
+
+    def test_sequential_requests_do_not_overlap(self):
+        client = seq(simple_client("r1"), simple_client("r2"))
+        repo = Repository({"w": simple_worker()})
+        plan = Plan.of({"r1": "w", "r2": "w"})
+        assert static_concurrent_demand([(client, plan)], repo, "w") == 1
+
+    def test_nested_requests_overlap(self):
+        inner = request("r2", None, seq(send("go"), receive("done")))
+        outer = request("r1", None, seq(send("go"), inner,
+                                        receive("done")))
+        repo = Repository({"w": simple_worker()})
+        # Careful: the nested session is opened by the *client*, inside
+        # its own session body.
+        plan = Plan.of({"r1": "w", "r2": "w"})
+        assert static_concurrent_demand([(outer, plan)], repo, "w") == 2
+
+    def test_service_side_requests_count(self):
+        # The broker's request 3 is open while the client's session with
+        # the broker is open.
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1())]
+        assert static_concurrent_demand(clients, repo, "ls3") == 1
+        assert static_concurrent_demand(clients, repo,
+                                        figure2.LOC_BROKER) == 1
+
+    def test_clients_add_up(self):
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1()),
+                   (figure2.client_2(), figure2.plan_pi2_valid())]
+        assert static_concurrent_demand(clients, repo,
+                                        figure2.LOC_BROKER) == 2
+        assert static_concurrent_demand(clients, repo, "ls3") == 1
+        assert static_concurrent_demand(clients, repo, "ls4") == 1
+
+    def test_unused_location_has_zero_demand(self):
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1())]
+        assert static_concurrent_demand(clients, repo, "ls2") == 0
+
+
+class TestObservedDemand:
+    def test_matches_static_on_paper_network(self):
+        repo = figure2.repository()
+        config = figure2.initial_configuration()
+        plans = PlanVector.of(figure2.plan_pi1(),
+                              figure2.plan_pi2_valid())
+        clients = [(figure2.client_1(), figure2.plan_pi1()),
+                   (figure2.client_2(), figure2.plan_pi2_valid())]
+        for location in repo.locations():
+            static = static_concurrent_demand(clients, repo, location)
+            observed = observed_concurrent_demand(config, plans, repo,
+                                                  location)
+            assert observed == static, location
+
+    def test_nested_sessions_observed(self):
+        inner = request("r2", None, seq(send("go"), receive("done")))
+        outer = request("r1", None, seq(send("go"), inner,
+                                        receive("done")))
+        repo = Repository({"w": simple_worker()})
+        plan = Plan.of({"r1": "w", "r2": "w"})
+        config = Configuration.of(Component.client("c", outer))
+        assert observed_concurrent_demand(config, plan, repo, "w") == 2
+
+
+class TestCapacityReport:
+    def test_feasible_with_enough_capacity(self):
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1()),
+                   (figure2.client_2(), figure2.plan_pi2_valid())]
+        report = check_capacities(clients, repo,
+                                  {figure2.LOC_BROKER: 2, "ls3": 1,
+                                   "ls4": 1})
+        assert report.feasible
+        assert report.oversubscribed() == ()
+
+    def test_oversubscription_detected(self):
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1()),
+                   (figure2.client_2(), figure2.plan_pi2_valid())]
+        report = check_capacities(clients, repo,
+                                  {figure2.LOC_BROKER: 1})
+        assert not report.feasible
+        assert report.oversubscribed() == (figure2.LOC_BROKER,)
+        assert "OVERSUBSCRIBED" in str(report)
+
+    def test_missing_capacity_means_unbounded(self):
+        repo = figure2.repository()
+        clients = [(figure2.client_1(), figure2.plan_pi1())] * 5
+        report = check_capacities(clients, repo, {})
+        assert report.feasible  # the paper's replicate-at-will default

@@ -1,0 +1,99 @@
+"""Tests for capacity-constrained whole-network orchestration."""
+
+from repro.analysis.orchestrator import orchestrate
+from repro.core.plans import Plan
+from repro.core.syntax import receive, request, send, seq
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.quantitative.costs import CostModel
+
+
+def worker(cost_events=()):
+    from repro.core.syntax import event
+    body = [event(name) for name in cost_events]
+    return receive("go", seq(*body, send("done")))
+
+
+def client(rid):
+    return request(rid, None, seq(send("go"), receive("done")))
+
+
+class TestUnconstrained:
+    def test_paper_network_orchestrates(self, repo, c1, c2):
+        result = orchestrate({figure2.LOC_CLIENT_1: c1,
+                              figure2.LOC_CLIENT_2: c2}, repo)
+        assert result.feasible
+        vector = result.orchestration.plan_vector()
+        assert vector[0] == figure2.plan_pi1()
+        assert vector[1] == figure2.plan_pi2_valid()
+
+    def test_client_without_plans_reported(self, repo, c1):
+        impossible = request("x", None, seq(send("nothing"),
+                                            receive("never")))
+        result = orchestrate({"lc1": c1, "sad": impossible}, repo)
+        assert not result.feasible
+        assert result.clients_without_plans == ("sad",)
+
+
+class TestCapacityConstrained:
+    def make(self):
+        repo = Repository({"w1": worker(), "w2": worker()})
+        clients = {"a": client("ra"), "b": client("rb")}
+        return clients, repo
+
+    def test_capacity_forces_spreading(self):
+        clients, repo = self.make()
+        result = orchestrate(clients, repo, capacities={"w1": 1,
+                                                        "w2": 1})
+        assert result.feasible
+        vector = result.orchestration.plan_vector()
+        used = {vector[0]["ra"], vector[1]["rb"]}
+        assert used == {"w1", "w2"}  # one client per worker
+
+    def test_infeasible_when_capacity_too_small(self):
+        clients, repo = self.make()
+        result = orchestrate(clients, repo, capacities={"w1": 1,
+                                                        "w2": 0})
+        assert not result.feasible
+        assert result.clients_without_plans == ()
+
+    def test_unbounded_capacity_allows_sharing(self):
+        clients, repo = self.make()
+        result = orchestrate(clients, repo, capacities={})
+        assert result.feasible
+
+
+class TestCostAware:
+    def test_cheapest_feasible_vector(self):
+        repo = Repository({
+            "cheap": worker(("io",)),
+            "dear": worker(("crypto",)),
+        })
+        clients = {"a": client("ra"), "b": client("rb")}
+        model = CostModel.of({"io": 1, "crypto": 10})
+        # Capacity 1 on the cheap worker: one client must take the dear
+        # one; the optimum is exactly one of each.
+        result = orchestrate(clients, repo, capacities={"cheap": 1},
+                             cost_model=model)
+        assert result.feasible
+        assert result.orchestration.cost == 11
+        used = sorted(next(iter(analysis.plan.locations()))
+                      for analysis in result.orchestration.plans)
+        assert used == ["cheap", "dear"]
+
+    def test_without_constraint_both_take_the_cheap_one(self):
+        repo = Repository({
+            "cheap": worker(("io",)),
+            "dear": worker(("crypto",)),
+        })
+        clients = {"a": client("ra"), "b": client("rb")}
+        model = CostModel.of({"io": 1, "crypto": 10})
+        result = orchestrate(clients, repo, cost_model=model)
+        assert result.feasible
+        assert result.orchestration.cost == 2
+
+    def test_str_mentions_cost(self):
+        repo = Repository({"cheap": worker(("io",))})
+        model = CostModel.of({"io": 1})
+        result = orchestrate({"a": client("ra")}, repo, cost_model=model)
+        assert "cost 1" in str(result.orchestration)

@@ -1,0 +1,66 @@
+"""Tests for request extraction and the nesting tree."""
+
+from repro.analysis.requests import (RequestInfo, extract_requests,
+                                     request_tree)
+from repro.core.syntax import (EPSILON, event, external, receive, request,
+                               send, seq)
+from repro.paper import figure2
+from repro.policies.library import forbid
+
+PHI = forbid("x")
+
+
+class TestExtraction:
+    def test_no_requests(self):
+        assert extract_requests(seq(event("e"), send("a"))) == ()
+
+    def test_single_request_carries_policy_and_body(self):
+        term = request("r", PHI, send("a"))
+        (info,) = extract_requests(term)
+        assert info == RequestInfo("r", PHI, send("a"))
+
+    def test_nested_requests_in_preorder(self):
+        inner = request("r2", None, send("x"))
+        outer = request("r1", PHI, seq(send("a"), inner))
+        ids = [info.request for info in extract_requests(outer)]
+        assert ids == ["r1", "r2"]
+
+    def test_requests_under_choices(self):
+        term = external(("a", request("r1", None, EPSILON)),
+                        ("b", request("r2", None, EPSILON)))
+        ids = {info.request for info in extract_requests(term)}
+        assert ids == {"r1", "r2"}
+
+    def test_paper_client_has_one_request(self):
+        (info,) = extract_requests(figure2.client_1())
+        assert info.request == "1"
+        assert info.policy == figure2.policy_c1()
+
+    def test_paper_broker_has_one_request(self):
+        (info,) = extract_requests(figure2.broker())
+        assert info.request == "3"
+        assert info.policy is None
+
+
+class TestRequestTree:
+    def test_flat_requests(self):
+        term = seq(request("a", None, EPSILON),
+                   request("b", None, EPSILON))
+        tree = request_tree(term)
+        assert [info.request for info, _ in tree.direct] == ["a", "b"]
+        assert all(not subtree.direct for _, subtree in tree.direct)
+
+    def test_nesting_recorded(self):
+        inner = request("r2", None, send("x"))
+        outer = request("r1", None, seq(receive("q"), inner))
+        tree = request_tree(outer)
+        ((info, subtree),) = tree.direct
+        assert info.request == "r1"
+        assert [i.request for i, _ in subtree.direct] == ["r2"]
+
+    def test_all_requests_flattens_outermost_first(self):
+        inner = request("r2", None, EPSILON)
+        outer = request("r1", None, inner)
+        tree = request_tree(outer)
+        assert [i.request for i in tree.all_requests()] == ["r1", "r2"]
+        assert len(tree) == 2

@@ -1,0 +1,63 @@
+"""Tests for the Section-5 verification facade."""
+
+import pytest
+
+from repro.analysis.verification import (verify_client, verify_network)
+from repro.core.errors import WellFormednessError
+from repro.core.plans import PlanVector
+from repro.core.syntax import Mu, Var, receive, request, send, seq
+from repro.network.repository import Repository
+from repro.paper import figure2
+
+
+class TestVerifyClient:
+    def test_paper_client1(self, repo, c1):
+        verdict = verify_client(c1, repo, location=figure2.LOC_CLIENT_1)
+        assert verdict.verified
+        assert verdict.plan is not None
+        assert verdict.plan.plan == figure2.plan_pi1()
+
+    def test_rejects_ill_formed_clients(self, repo):
+        with pytest.raises(WellFormednessError):
+            verify_client(Mu("h", Var("h")), repo)
+
+    def test_unverifiable_client(self):
+        client = request("r", None, seq(send("a"), receive("never")))
+        repo = Repository({"srv": receive("a")})
+        verdict = verify_client(client, repo)
+        assert not verdict.verified
+        assert verdict.plan is None
+
+
+class TestVerifyNetwork:
+    def test_paper_network_verifies(self, repo, c1, c2):
+        verdict = verify_network({figure2.LOC_CLIENT_1: c1,
+                                  figure2.LOC_CLIENT_2: c2}, repo)
+        assert verdict.verified
+        vector = verdict.plan_vector()
+        assert isinstance(vector, PlanVector)
+        assert vector[0] == figure2.plan_pi1()
+        assert vector[1] == figure2.plan_pi2_valid()
+
+    def test_report_mentions_monitor(self, repo, c1):
+        verdict = verify_network({figure2.LOC_CLIENT_1: c1}, repo)
+        assert "switch off the monitor" in verdict.report()
+
+    def test_failed_network_report_lists_rejections(self):
+        client = request("r", None, seq(send("a"), receive("never")))
+        repo = Repository({"srv": receive("a")})
+        verdict = verify_network({"c": client}, repo)
+        assert not verdict.verified
+        report = verdict.report()
+        assert "NO valid plan" in report
+        assert "NOT verified" in report
+        with pytest.raises(ValueError):
+            verdict.plan_vector()
+
+    def test_one_bad_client_spoils_the_network(self, repo, c1):
+        bad = request("r", None, seq(send("a"), receive("never")))
+        verdict = verify_network(
+            {figure2.LOC_CLIENT_1: c1, "bad": bad}, repo)
+        assert not verdict.verified
+        assert verdict.clients[0].verified
+        assert not verdict.clients[1].verified

@@ -1,0 +1,89 @@
+"""Tests for the BPA process substrate."""
+
+import pytest
+
+from repro.core.errors import WellFormednessError
+from repro.bpa.process import (BPAAction, BPAChoice, BPASeq, BPASystem,
+                               BPAVar, ZERO, bpa_choice, bpa_seq,
+                               substitute_definitions)
+
+
+def lts_of(root, definitions=()):
+    return BPASystem(root, tuple(definitions)).lts()
+
+
+class TestConstructors:
+    def test_seq_unit_laws(self):
+        action = BPAAction("a")
+        assert bpa_seq(ZERO, action) == action
+        assert bpa_seq(action, ZERO) == action
+        assert bpa_seq(ZERO, ZERO) == ZERO
+
+    def test_choice_of_nothing_is_zero(self):
+        assert bpa_choice() == ZERO
+
+    def test_choice_of_one_is_itself(self):
+        action = BPAAction("a")
+        assert bpa_choice(action) == action
+
+    def test_choice_right_associates(self):
+        a, b, c = (BPAAction(x) for x in "abc")
+        assert bpa_choice(a, b, c) == BPAChoice(a, BPAChoice(b, c))
+
+
+class TestSemantics:
+    def test_zero_is_stuck(self):
+        system = BPASystem(ZERO)
+        assert list(system.step(ZERO)) == []
+
+    def test_action_fires_once(self):
+        system = BPASystem(BPAAction("a"))
+        assert list(system.step(system.root)) == [("a", ZERO)]
+
+    def test_seq_orders_actions(self):
+        root = bpa_seq(BPAAction("a"), BPAAction("b"))
+        lts = lts_of(root)
+        assert len(lts) == 3
+        path = lts.path_to(lambda s: s == ZERO)
+        assert [label for label, _ in path] == ["a", "b"]
+
+    def test_choice_branches(self):
+        root = bpa_choice(BPAAction("a"), BPAAction("b"))
+        system = BPASystem(root)
+        assert {label for label, _ in system.step(root)} == {"a", "b"}
+
+    def test_variable_unfolds_definition(self):
+        system = BPASystem(BPAVar("X"),
+                           (("X", bpa_seq(BPAAction("t"), BPAVar("X"))),))
+        lts = system.lts()
+        assert len(lts) <= 2  # the loop closes
+
+    def test_undefined_variable_raises(self):
+        system = BPASystem(BPAVar("ghost"))
+        with pytest.raises(WellFormednessError, match="undefined"):
+            list(system.step(system.root))
+
+    def test_unguarded_definition_raises(self):
+        system = BPASystem(BPAVar("X"), (("X", BPAVar("X")),))
+        with pytest.raises(WellFormednessError, match="unguarded"):
+            list(system.step(system.root))
+
+
+class TestSubstitution:
+    def test_substitute_definitions(self):
+        term = bpa_seq(BPAVar("X"), BPAAction("end"))
+        result = substitute_definitions(term, {"X": BPAAction("mid")})
+        assert result == bpa_seq(BPAAction("mid"), BPAAction("end"))
+
+    def test_substitute_missing_var_unchanged(self):
+        term = BPAVar("Y")
+        assert substitute_definitions(term, {"X": ZERO}) == term
+
+
+class TestRendering:
+    def test_str_forms(self):
+        assert str(ZERO) == "0"
+        assert str(BPAAction("a")) == "a"
+        assert str(BPAVar("X")) == "X"
+        assert "+" in str(bpa_choice(BPAAction("a"), BPAAction("b")))
+        assert "·" in str(bpa_seq(BPAAction("a"), BPAAction("b")))

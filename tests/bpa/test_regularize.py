@@ -1,0 +1,105 @@
+"""Tests for the framing regularisation of Section 3.1."""
+
+from repro.core.semantics import traces
+from repro.core.syntax import (EPSILON, Framing, Var, event, external, mu,
+                               receive, request, seq, send)
+from repro.core.validity import History, is_valid
+from repro.core.actions import is_history_label
+from repro.bpa.regularize import max_framing_depth, regularize
+from repro.policies.library import forbid, never_after
+
+PHI = forbid("boom")
+PSI = never_after("a", "b")
+
+
+class TestRewriting:
+    def test_plain_terms_unchanged(self):
+        for term in (EPSILON, event("e"), send("a", receive("b"))):
+            assert regularize(term) == term
+
+    def test_directly_nested_same_policy_collapses(self):
+        term = Framing(PHI, Framing(PHI, event("e")))
+        assert regularize(term) == Framing(PHI, event("e"))
+
+    def test_nested_with_intervening_structure(self):
+        inner = Framing(PHI, event("x"))
+        term = Framing(PHI, seq(event("a"), inner, event("b")))
+        assert regularize(term) == Framing(
+            PHI, seq(event("a"), event("x"), event("b")))
+
+    def test_different_policies_preserved(self):
+        term = Framing(PHI, Framing(PSI, event("e")))
+        assert regularize(term) == term
+
+    def test_siblings_not_collapsed(self):
+        term = seq(Framing(PHI, event("a")), Framing(PHI, event("b")))
+        assert regularize(term) == term
+
+    def test_framings_inside_choices(self):
+        term = Framing(PHI, external(
+            ("go", Framing(PHI, event("x"))),
+            ("no", EPSILON)))
+        result = regularize(term)
+        assert max_framing_depth(result) <= 1
+
+    def test_request_policy_is_not_a_framing_here(self):
+        # open_{r,φ} frames the session at the *network* level; the
+        # stand-alone rewrite leaves it alone.
+        term = request("r", PHI, Framing(PHI, event("e")))
+        result = regularize(term)
+        assert isinstance(result, type(term))
+        assert result.policy == PHI
+
+
+class TestDepthMeasure:
+    def test_depth_of_flat_term(self):
+        assert max_framing_depth(event("e")) == 0
+        assert max_framing_depth(Framing(PHI, event("e"))) == 1
+
+    def test_depth_counts_same_policy_only(self):
+        assert max_framing_depth(Framing(PHI, Framing(PSI, EPSILON))) == 1
+        assert max_framing_depth(Framing(PHI, Framing(PHI, EPSILON))) == 2
+
+    def test_regularized_depth_is_at_most_one(self):
+        deep = Framing(PHI, seq(event("a"),
+                                Framing(PHI,
+                                        Framing(PHI, event("b")))))
+        assert max_framing_depth(deep) == 3
+        assert max_framing_depth(regularize(deep)) == 1
+
+
+class TestValidityPreservation:
+    def histories_of(self, term, cap=14):
+        for trace in traces(term, max_length=cap):
+            yield History([l for l in trace if is_history_label(l)])
+
+    def equal_validity(self, term):
+        regular = regularize(term)
+        original = {(tuple(h), is_valid(h))
+                    for h in self.histories_of(term)}
+        rewritten = {(tuple(h), is_valid(h))
+                     for h in self.histories_of(regular)}
+        # Same validity verdict overall (the label sequences differ: the
+        # redundant Lφ/Mφ pairs are gone).
+        assert (all(v for _, v in original)
+                == all(v for _, v in rewritten))
+
+    def test_validity_preserved_on_violating_term(self):
+        self.equal_validity(Framing(PHI, Framing(PHI, event("boom"))))
+
+    def test_validity_preserved_on_clean_term(self):
+        self.equal_validity(Framing(PHI, Framing(PHI, event("fine"))))
+
+    def test_validity_preserved_with_interleaved_policies(self):
+        term = Framing(PSI, seq(event("a"),
+                                Framing(PSI, event("b"))))
+        self.equal_validity(term)
+
+    def test_inner_close_no_longer_deactivates(self):
+        # In φ[x·φ[y]·z], z is still under φ; the rewrite must keep it so.
+        term = Framing(PSI, seq(event("a"), Framing(PSI, event("x")),
+                                event("b")))
+        regular = regularize(term)
+        # The violating pair a…b is inside the single remaining framing.
+        histories = list(self.histories_of(regular))
+        assert any(not is_valid(h) for h in histories)

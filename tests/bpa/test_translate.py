@@ -1,0 +1,75 @@
+"""Tests for the HE → BPA translation: the two transition systems must be
+strongly bisimilar."""
+
+from repro.core.semantics import step
+from repro.core.syntax import (EPSILON, Framing, Var, event, external,
+                               internal, mu, receive, request, send, seq)
+from repro.contracts.lts import bisimilar, build_lts
+from repro.bpa.translate import to_bpa
+from repro.paper import figure2
+from repro.policies.library import forbid
+
+PHI = forbid("x")
+
+SAMPLES = [
+    EPSILON,
+    event("e", 1),
+    seq(event("a"), event("b")),
+    send("a", receive("b")),
+    external(("a", event("x")), ("b", EPSILON)),
+    internal(("a", EPSILON), ("b", send("c"))),
+    Framing(PHI, seq(event("a"), send("out"))),
+    request("r", PHI, seq(send("a"), receive("b"))),
+    mu("h", receive("ping", send("pong", Var("h")))),
+    mu("h", external(("go", seq(event("e"), send("ack", Var("h")))),
+                     ("stop", EPSILON))),
+    figure2.client_1(),
+    figure2.broker(),
+    figure2.hotel_2(),
+]
+
+
+class TestBisimilarity:
+    def test_translation_preserves_behaviour(self):
+        for term in SAMPLES:
+            he_lts = build_lts(term, step)
+            bpa_lts = to_bpa(term).lts()
+            assert bisimilar(he_lts, bpa_lts), \
+                f"translation changed behaviour of {term!r}"
+
+
+class TestStructure:
+    def test_epsilon_is_zero(self):
+        system = to_bpa(EPSILON)
+        from repro.bpa.process import ZERO
+        assert system.root == ZERO
+        assert system.definitions == ()
+
+    def test_mu_becomes_definition(self):
+        system = to_bpa(mu("h", receive("a", Var("h"))))
+        assert len(system.definitions) == 1
+        (name, _) = system.definitions[0]
+        assert name == "X_h"
+
+    def test_nested_mus_get_fresh_names(self):
+        inner = mu("h", receive("b", Var("h")))
+        outer = mu("h", receive("a", seq(inner, send("c", Var("h")))))
+        system = to_bpa(outer)
+        names = [name for name, _ in system.definitions]
+        assert len(names) == len(set(names)) == 2
+
+    def test_framing_becomes_bracketing_actions(self):
+        from repro.core.actions import FrameClose, FrameOpen
+        system = to_bpa(Framing(PHI, event("e")))
+        labels = {label for _, moves in system.lts().transitions.items()
+                  for label, _ in moves}
+        assert FrameOpen(PHI) in labels
+        assert FrameClose(PHI) in labels
+
+    def test_request_becomes_open_close_actions(self):
+        from repro.core.actions import SessionClose, SessionOpen
+        system = to_bpa(request("r", None, event("e")))
+        labels = {label for _, moves in system.lts().transitions.items()
+                  for label, _ in moves}
+        assert SessionOpen("r", None) in labels
+        assert SessionClose("r", None) in labels

@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's Figure 2 network and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import figure2
+
+
+@pytest.fixture(scope="session")
+def repo():
+    """The repository R of Figure 2 (broker + four hotels)."""
+    return figure2.repository()
+
+
+@pytest.fixture(scope="session")
+def c1():
+    """Client C1 of Figure 2."""
+    return figure2.client_1()
+
+
+@pytest.fixture(scope="session")
+def c2():
+    """Client C2 of Figure 2."""
+    return figure2.client_2()
+
+
+@pytest.fixture(scope="session")
+def broker_term():
+    """The broker Br of Figure 2."""
+    return figure2.broker()
+
+
+@pytest.fixture(scope="session")
+def phi1():
+    """φ({1}, 45, 100)."""
+    return figure2.policy_c1()
+
+
+@pytest.fixture(scope="session")
+def phi2():
+    """φ({1, 3}, 40, 70)."""
+    return figure2.policy_c2()

@@ -1,0 +1,66 @@
+"""Tests for the Contract wrapper."""
+
+import pytest
+
+from repro.core.actions import Receive, Send
+from repro.core.syntax import (EPSILON, Var, event, external, internal, mu,
+                               seq, send)
+from repro.contracts.contract import Contract
+
+
+class TestConstruction:
+    def test_projects_by_default(self):
+        contract = Contract(seq(event("e"), send("a")))
+        assert contract.term == send("a")
+
+    def test_already_projected_skips_projection(self):
+        term = send("a")
+        contract = Contract(term, already_projected=True)
+        assert contract.term is term
+
+    def test_rejects_open_terms(self):
+        with pytest.raises(ValueError):
+            Contract(Var("h"))
+
+
+class TestLTS:
+    def test_finite_state_for_recursion(self):
+        loop = mu("h", external(("ping", internal(("pong", Var("h")),)),))
+        contract = Contract(loop)
+        assert 1 <= len(contract.lts) <= 4
+
+    def test_lts_is_cached(self):
+        contract = Contract(send("a"))
+        assert contract.lts is contract.lts
+
+    def test_states_include_epsilon(self):
+        contract = Contract(send("a"))
+        assert EPSILON in contract.states
+
+
+class TestStateObservations:
+    def test_outputs_and_inputs_from(self):
+        term = seq(internal(("a", EPSILON), ("b", EPSILON)),
+                   external(("c", EPSILON)))
+        contract = Contract(term)
+        assert contract.outputs_from(term) == {Send("a"), Send("b")}
+        assert contract.inputs_from(term) == frozenset()
+        follow = external(("c", EPSILON))
+        assert contract.inputs_from(follow) == {Receive("c")}
+
+    def test_ready_sets_default_to_initial(self):
+        contract = Contract(internal(("a", EPSILON), ("b", EPSILON)))
+        assert contract.ready_sets_of() == frozenset({
+            frozenset({Send("a")}), frozenset({Send("b")})})
+
+
+class TestValueSemantics:
+    def test_equality_is_structural_on_projection(self):
+        assert Contract(seq(event("x"), send("a"))) == Contract(send("a"))
+        assert Contract(send("a")) != Contract(send("b"))
+
+    def test_hashable(self):
+        assert len({Contract(send("a")), Contract(send("a"))}) == 1
+
+    def test_str_renders_surface_syntax(self):
+        assert str(Contract(send("a"))) == "!a"

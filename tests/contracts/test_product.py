@@ -1,0 +1,129 @@
+"""Tests for the product automaton of Definition 5 and Theorems 1–2."""
+
+from repro.core.compliance import compliant_coinductive
+from repro.core.syntax import (EPSILON, Var, external, internal, mu,
+                               receive, send)
+from repro.contracts.contract import Contract
+from repro.contracts.product import build_product
+
+
+def product_of(client, server):
+    return build_product(Contract(client), Contract(server))
+
+
+class TestFinalStates:
+    def test_compliant_pair_has_no_final_states(self):
+        product = product_of(send("a"), receive("a"))
+        assert product.final_states == frozenset()
+        assert product.language_is_empty()
+
+    def test_initial_final_when_both_wait(self):
+        product = product_of(receive("a"), receive("a"))
+        assert product.initial in product.final_states
+        assert not product.language_is_empty()
+
+    def test_condition_i_both_inputs(self):
+        # ¬(i): no output anywhere.
+        product = product_of(receive("a"), receive("b"))
+        assert product.violates_invariant(product.initial)
+
+    def test_condition_ii_unmatched_output(self):
+        # (i) holds, (ii) fails: client output has no co-input.
+        product = product_of(send("a"), receive("b"))
+        assert product.violates_invariant(product.initial)
+
+    def test_terminated_client_never_final(self):
+        product = product_of(EPSILON, send("anything"))
+        assert product.final_states == frozenset()
+        assert product.language_is_empty()
+
+    def test_no_transitions_out_of_final_states(self):
+        # Even a syncable pair stops once the state is final: here the
+        # client also offers an unmatched output.
+        client = internal(("a", EPSILON), ("bad", EPSILON))
+        server = external(("a", EPSILON))
+        product = product_of(client, server)
+        assert product.initial in product.final_states
+        assert product.lts.moves(product.initial) == ()
+
+
+class TestReachability:
+    def test_failure_after_some_synchronisations(self):
+        client = send("go", send("go2", receive("never")))
+        server = receive("go", receive("go2"))
+        product = product_of(client, server)
+        assert not product.language_is_empty()
+        trace = product.counterexample()
+        assert trace is not None
+        assert len(trace) == 3  # initial, after go, after go2
+        assert trace[-1] in product.final_states
+
+    def test_counterexample_none_when_compliant(self):
+        product = product_of(send("a"), receive("a"))
+        assert product.counterexample() is None
+
+    def test_unreachable_final_states_do_not_matter(self):
+        # The server's 'err' branch would deadlock, but the client never
+        # sends err, so the bad pair is unreachable.
+        client = send("ok")
+        server = external(("ok", EPSILON), ("err", receive("x")))
+        product = product_of(client, server)
+        assert product.language_is_empty()
+
+
+class TestTheorem1:
+    """L(H1 ⊗ H2) = ∅ iff H1 ⊢ H2 (here: against the coinductive
+    decider)."""
+
+    CASES = [
+        (send("a"), receive("a")),
+        (send("a"), receive("b")),
+        (receive("a"), send("a")),
+        (receive("a"), receive("a")),
+        (EPSILON, EPSILON),
+        (EPSILON, send("x")),
+        (internal(("a", EPSILON), ("b", EPSILON)),
+         external(("a", EPSILON), ("b", EPSILON))),
+        (internal(("a", EPSILON), ("b", EPSILON)),
+         external(("a", EPSILON))),
+        (mu("h", send("p", receive("q", Var("h")))),
+         mu("k", receive("p", send("q", Var("k"))))),
+        (mu("h", internal(("more", receive("ack", Var("h"))),
+                          ("done", EPSILON))),
+         mu("k", external(("more", send("ack", Var("k"))),
+                          ("done", EPSILON)))),
+    ]
+
+    def test_equivalence_on_fixed_cases(self):
+        for client, server in self.CASES:
+            product = product_of(client, server)
+            assert (product.language_is_empty()
+                    == compliant_coinductive(client, server)), \
+                f"Theorem 1 mismatch on {client} / {server}"
+
+
+class TestTheorem2:
+    """Compliance is an invariant: checking it only needs the current
+    state."""
+
+    def test_invariant_formulation_matches_emptiness(self):
+        for client, server in TestTheorem1.CASES:
+            product = product_of(client, server)
+            reachable = product.lts.reachable_from(product.initial)
+            invariant_holds = not any(product.violates_invariant(state)
+                                      for state in reachable)
+            assert invariant_holds == product.language_is_empty()
+
+    def test_violation_is_detectable_statewise(self):
+        # The invariant check uses no history: re-checking any reachable
+        # state in isolation gives the same verdict.
+        client = send("go", receive("never"))
+        server = receive("go")
+        product = product_of(client, server)
+        bad = [state for state in
+               product.lts.reachable_from(product.initial)
+               if product.violates_invariant(state)]
+        assert bad
+        for state in bad:
+            fresh = product_of(state[0], state[1])
+            assert fresh.initial in fresh.final_states

@@ -1,0 +1,93 @@
+"""Tests for the action alphabets (Ev, Comm, Frm) and co-actions."""
+
+import pytest
+
+from repro.core.actions import (TAU, Event, FrameClose, FrameOpen, Receive,
+                                Send, SessionClose, SessionOpen, Tau, co,
+                                is_communication, is_event, is_framing,
+                                is_history_label, is_input, is_output)
+
+
+class TestCoActions:
+    def test_co_of_send_is_receive(self):
+        assert co(Send("a")) == Receive("a")
+
+    def test_co_of_receive_is_send(self):
+        assert co(Receive("a")) == Send("a")
+
+    def test_co_is_involutive(self):
+        for action in (Send("x"), Receive("y")):
+            assert co(co(action)) == action
+
+    def test_co_preserves_channel(self):
+        assert co(Send("chan")).channel == "chan"
+
+    @pytest.mark.parametrize("action", [
+        Event("e"), TAU, SessionOpen("r"), SessionClose("r"),
+        FrameOpen("p"), FrameClose("p")])
+    def test_co_rejects_non_channel_actions(self, action):
+        with pytest.raises(ValueError):
+            co(action)
+
+
+class TestPredicates:
+    def test_output_and_input(self):
+        assert is_output(Send("a")) and not is_output(Receive("a"))
+        assert is_input(Receive("a")) and not is_input(Send("a"))
+
+    def test_events_are_not_communications(self):
+        assert is_event(Event("e")) and not is_communication(Event("e"))
+
+    def test_session_actions_are_communications(self):
+        assert is_communication(SessionOpen("r"))
+        assert is_communication(SessionClose("r", None))
+        assert is_communication(TAU)
+
+    def test_framings(self):
+        assert is_framing(FrameOpen("p")) and is_framing(FrameClose("p"))
+        assert not is_framing(Event("e"))
+
+    def test_history_labels_are_events_and_framings_only(self):
+        assert is_history_label(Event("e"))
+        assert is_history_label(FrameOpen("p"))
+        assert is_history_label(FrameClose("p"))
+        assert not is_history_label(Send("a"))
+        assert not is_history_label(TAU)
+        assert not is_history_label(SessionOpen("r"))
+
+
+class TestValueSemantics:
+    def test_events_compare_structurally(self):
+        assert Event("e", (1, 2)) == Event("e", (1, 2))
+        assert Event("e", (1,)) != Event("e", (2,))
+        assert Event("e") != Event("f")
+
+    def test_actions_are_hashable(self):
+        labels = {Send("a"), Receive("a"), TAU, Event("e"),
+                  SessionOpen("r", None), FrameOpen("p")}
+        assert len(labels) == 6
+
+    def test_tau_is_singletonish(self):
+        assert Tau() == TAU
+
+    def test_session_open_distinct_by_policy(self):
+        assert SessionOpen("r", "p1") != SessionOpen("r", "p2")
+        assert SessionOpen("r", None) == SessionOpen("r")
+
+
+class TestRendering:
+    def test_event_str(self):
+        assert str(Event("sgn", (3,))) == "@sgn(3)"
+        assert str(Event("ping")) == "@ping"
+
+    def test_send_receive_str(self):
+        assert str(Send("Req")) == "!Req"
+        assert str(Receive("Req")) == "?Req"
+
+    def test_framing_str_shows_direction(self):
+        assert str(FrameOpen("phi")) == "[phi"
+        assert str(FrameClose("phi")) == "]phi"
+
+    def test_session_str_mentions_request(self):
+        assert "r1" in str(SessionOpen("r1", None))
+        assert "r1" in str(SessionClose("r1", None))

@@ -1,0 +1,152 @@
+"""Tests for service compliance (Definition 4, Theorem 1)."""
+
+from repro.core.compliance import (check_compliance, compliant,
+                                   compliant_coinductive)
+from repro.core.syntax import (EPSILON, Var, event, external, internal, mu,
+                               receive, send, seq)
+from repro.contracts.contract import Contract
+
+
+class TestBasicCompliance:
+    def test_empty_client_is_compliant_with_anything(self):
+        assert compliant(EPSILON, receive("a"))
+        assert compliant(EPSILON, send("a"))
+        assert compliant(EPSILON, EPSILON)
+
+    def test_matching_output_input(self):
+        assert compliant(send("a"), receive("a"))
+
+    def test_matching_input_output(self):
+        assert compliant(receive("a"), send("a"))
+
+    def test_channel_mismatch(self):
+        assert not compliant(send("a"), receive("b"))
+
+    def test_both_waiting_deadlocks(self):
+        assert not compliant(receive("a"), receive("a"))
+
+    def test_both_sending_deadlocks(self):
+        assert not compliant(send("a"), send("a"))
+
+    def test_client_waiting_on_terminated_server(self):
+        assert not compliant(receive("a"), EPSILON)
+
+    def test_client_sending_to_terminated_server(self):
+        assert not compliant(send("a"), EPSILON)
+
+
+class TestAsymmetry:
+    """The client may terminate and leave; the server may not be left
+    *blocking* the client."""
+
+    def test_client_done_server_still_talking(self):
+        client = send("a")
+        server = receive("a", send("more"))
+        # After the sync the client is ε; the dangling !more is fine.
+        assert compliant(client, server)
+
+    def test_server_done_client_still_talking_fails(self):
+        client = send("a", send("b"))
+        server = receive("a")
+        assert not compliant(client, server)
+
+
+class TestChoices:
+    def test_every_client_output_must_be_handled(self):
+        client = internal(("a", EPSILON), ("b", EPSILON))
+        full_server = external(("a", EPSILON), ("b", EPSILON))
+        partial_server = external(("a", EPSILON))
+        assert compliant(client, full_server)
+        assert not compliant(client, partial_server)
+
+    def test_server_may_offer_more_inputs_than_used(self):
+        client = internal(("a", EPSILON))
+        server = external(("a", EPSILON), ("b", EPSILON), ("c", EPSILON))
+        assert compliant(client, server)
+
+    def test_every_server_output_must_be_handled(self):
+        client = external(("ok", EPSILON))
+        server = internal(("ok", EPSILON), ("err", EPSILON))
+        assert not compliant(client, server)
+
+    def test_client_may_offer_more_inputs_than_server_sends(self):
+        client = external(("ok", EPSILON), ("err", EPSILON))
+        server = internal(("ok", EPSILON))
+        assert compliant(client, server)
+
+    def test_failure_deep_in_protocol(self):
+        client = send("go", external(("fine", EPSILON)))
+        server = receive("go", internal(("fine", EPSILON),
+                                        ("boom", EPSILON)))
+        assert not compliant(client, server)
+
+
+class TestRecursion:
+    def test_compliant_ping_pong(self):
+        client = mu("h", internal(("ping", receive("pong", Var("h"))),
+                                  ("quit", EPSILON)))
+        server = mu("k", external(("ping", send("pong", Var("k"))),
+                                  ("quit", EPSILON)))
+        assert compliant(client, server)
+
+    def test_server_missing_exit_branch(self):
+        client = mu("h", internal(("ping", receive("pong", Var("h"))),
+                                  ("quit", EPSILON)))
+        server = mu("k", external(("ping", send("pong", Var("k")))))
+        assert not compliant(client, server)
+
+    def test_infinite_interaction_is_compliant(self):
+        # Progress, not termination: an endless ping-pong never sticks.
+        client = mu("h", send("ping", receive("pong", Var("h"))))
+        server = mu("k", receive("ping", send("pong", Var("k"))))
+        assert compliant(client, server)
+
+
+class TestProjectionIntegration:
+    def test_events_are_transparent(self):
+        client = seq(event("log"), send("a"))
+        server = seq(event("audit", 7), receive("a"))
+        assert compliant(client, server)
+
+    def test_precomputed_contracts_accepted(self):
+        client = Contract(send("a"))
+        server = Contract(receive("a"))
+        assert compliant(client, server)
+
+
+class TestWitnesses:
+    def test_compliant_result_has_no_witness(self):
+        result = check_compliance(send("a"), receive("a"))
+        assert result.compliant and bool(result)
+        assert result.witness is None and result.trace is None
+
+    def test_counterexample_trace_ends_in_witness(self):
+        client = send("go", internal(("a", EPSILON), ("b", EPSILON)))
+        server = receive("go", external(("a", EPSILON)))
+        result = check_compliance(client, server)
+        assert not result.compliant
+        assert result.trace is not None
+        assert result.trace[-1] == result.witness
+        # One synchronisation (go) before the stuck pair.
+        assert len(result.trace) == 2
+
+    def test_immediately_stuck_trace_is_initial_state_only(self):
+        result = check_compliance(send("a"), receive("b"))
+        assert result.trace is not None and len(result.trace) == 1
+
+
+class TestDecidersAgree:
+    def test_both_deciders_on_paper_style_cases(self):
+        cases = [
+            (send("a"), receive("a")),
+            (send("a"), receive("b")),
+            (internal(("a", EPSILON), ("b", EPSILON)),
+             external(("a", EPSILON))),
+            (mu("h", send("p", receive("q", Var("h")))),
+             mu("k", receive("p", send("q", Var("k"))))),
+            (receive("a"), receive("a")),
+            (EPSILON, send("x")),
+        ]
+        for client, server in cases:
+            assert (compliant(client, server)
+                    == compliant_coinductive(client, server))

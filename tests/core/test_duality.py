@@ -1,0 +1,62 @@
+"""Tests for contract duality."""
+
+import pytest
+
+from repro.core.compliance import compliant
+from repro.core.duality import dual
+from repro.core.syntax import (EPSILON, Framing, Var, event, external,
+                               internal, mu, receive, send, seq)
+from repro.policies.library import forbid
+
+
+class TestDualisation:
+    def test_epsilon_and_vars_self_dual(self):
+        assert dual(EPSILON) == EPSILON
+        assert dual(Var("h")) == Var("h")
+
+    def test_output_becomes_input(self):
+        assert dual(send("a")) == receive("a")
+        assert dual(receive("a")) == send("a")
+
+    def test_choices_flip_kind(self):
+        term = internal(("a", EPSILON), ("b", send("c")))
+        assert dual(term) == external(("a", EPSILON), ("b", receive("c")))
+
+    def test_involution(self):
+        term = mu("h", external(("go", internal(("yes", Var("h")),
+                                                ("no", EPSILON))),))
+        assert dual(dual(term)) == term
+
+    def test_seq_distributes(self):
+        term = seq(send("a"), receive("b"))
+        assert dual(term) == seq(receive("a"), send("b"))
+
+    def test_rejects_unprojected_nodes(self):
+        with pytest.raises(TypeError):
+            dual(event("e"))
+        with pytest.raises(TypeError):
+            dual(Framing(forbid("x"), EPSILON))
+
+
+class TestDualCompliance:
+    CONTRACTS = [
+        send("a"),
+        receive("a", send("b")),
+        internal(("a", EPSILON), ("b", receive("x"))),
+        external(("a", send("x")), ("b", EPSILON)),
+        mu("h", internal(("more", receive("ack", Var("h"))),
+                         ("done", EPSILON))),
+        seq(send("a"), external(("x", EPSILON), ("y", EPSILON))),
+    ]
+
+    @pytest.mark.parametrize("contract", CONTRACTS,
+                             ids=[str(i) for i in range(len(CONTRACTS))])
+    def test_contract_complies_with_its_dual(self, contract):
+        assert compliant(contract, dual(contract))
+
+    @pytest.mark.parametrize("contract", CONTRACTS,
+                             ids=[str(i) for i in range(len(CONTRACTS))])
+    def test_dual_complies_with_the_contract(self, contract):
+        # Compliance is client-biased, but duals terminate together, so
+        # it holds in both directions.
+        assert compliant(dual(contract), contract)

@@ -1,0 +1,102 @@
+"""Tests for plans and plan vectors (Definition 2)."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.plans import Plan, PlanVector
+
+
+class TestConstruction:
+    def test_empty_plan(self):
+        plan = Plan.empty()
+        assert len(plan) == 0
+        assert str(plan) == "∅"
+
+    def test_single_binding(self):
+        plan = Plan.single("r", "loc")
+        assert plan["r"] == "loc"
+        assert str(plan) == "r[loc]"
+
+    def test_of_mapping(self):
+        plan = Plan.of({"1": "lbr", "3": "ls3"})
+        assert plan["1"] == "lbr" and plan["3"] == "ls3"
+
+    def test_of_pairs(self):
+        plan = Plan.of([("a", "x"), ("b", "y")])
+        assert plan["b"] == "y"
+
+    def test_bindings_are_sorted_canonically(self):
+        assert Plan.of({"b": "y", "a": "x"}) == Plan.of({"a": "x",
+                                                         "b": "y"})
+
+
+class TestBindAndUnion:
+    def test_bind_extends(self):
+        plan = Plan.empty().bind("r", "loc")
+        assert "r" in plan
+
+    def test_bind_is_functional(self):
+        base = Plan.empty()
+        extended = base.bind("r", "loc")
+        assert len(base) == 0 and len(extended) == 1
+
+    def test_rebinding_same_location_is_noop(self):
+        plan = Plan.single("r", "loc")
+        assert plan.bind("r", "loc") == plan
+
+    def test_rebinding_conflict_raises(self):
+        plan = Plan.single("r", "loc")
+        with pytest.raises(PlanError):
+            plan.bind("r", "other")
+
+    def test_union_merges(self):
+        merged = Plan.single("a", "x").union(Plan.single("b", "y"))
+        assert merged == Plan.of({"a": "x", "b": "y"})
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(PlanError):
+            Plan.single("a", "x").union(Plan.single("a", "y"))
+
+    def test_union_idempotent(self):
+        plan = Plan.of({"a": "x"})
+        assert plan.union(plan) == plan
+
+
+class TestLookups:
+    def test_lookup_missing_returns_none(self):
+        assert Plan.empty().lookup("r") is None
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(PlanError):
+            Plan.empty()["r"]
+
+    def test_requests_and_locations(self):
+        plan = Plan.of({"1": "lbr", "3": "ls3"})
+        assert plan.requests() == {"1", "3"}
+        assert plan.locations() == {"lbr", "ls3"}
+
+    def test_contains_uses_string_coercion(self):
+        plan = Plan.single(1, "loc")
+        assert "1" in plan
+        assert plan.lookup(1) == "loc"
+
+    def test_items_iterates_bindings(self):
+        plan = Plan.of({"a": "x", "b": "y"})
+        assert dict(plan.items()) == {"a": "x", "b": "y"}
+
+
+class TestPlanVector:
+    def test_indexing_and_len(self):
+        vector = PlanVector.of(Plan.single("1", "x"), Plan.single("2", "y"))
+        assert len(vector) == 2
+        assert vector[0]["1"] == "x"
+        assert vector[1]["2"] == "y"
+
+    def test_iteration(self):
+        plans = [Plan.single("1", "x"), Plan.empty()]
+        vector = PlanVector.of(*plans)
+        assert list(vector) == plans
+
+    def test_str(self):
+        vector = PlanVector.of(Plan.single("1", "x"))
+        assert str(vector) == "[1[x]]"

@@ -1,0 +1,90 @@
+"""Tests for observable ready sets (Definition 3), incl. the paper's
+worked examples."""
+
+import pytest
+
+from repro.core.actions import Receive, Send
+from repro.core.ready_sets import co_set, offers_nothing, ready_sets
+from repro.core.syntax import (EPSILON, Framing, Var, event, external,
+                               internal, mu, receive, send, seq)
+from repro.policies.library import forbid
+
+
+def rs(*sets):
+    return frozenset(frozenset(s) for s in sets)
+
+
+class TestBaseCases:
+    def test_epsilon_offers_nothing(self):
+        assert ready_sets(EPSILON) == rs(set())
+        assert offers_nothing(EPSILON)
+
+    def test_variable_offers_nothing(self):
+        assert ready_sets(Var("h")) == rs(set())
+
+    def test_internal_choice_one_singleton_per_output(self):
+        term = internal(("a1", EPSILON), ("a2", EPSILON))
+        assert ready_sets(term) == rs({Send("a1")}, {Send("a2")})
+
+    def test_external_choice_single_combined_set(self):
+        term = external(("a1", EPSILON), ("a2", EPSILON))
+        assert ready_sets(term) == rs({Receive("a1"), Receive("a2")})
+
+
+class TestPaperExamples:
+    def test_example_internal(self):
+        """(ā1 ⊕ ā2) ⇓ {ā1} and ⇓ {ā2}."""
+        term = internal(("a1", EPSILON), ("a2", EPSILON))
+        assert frozenset({Send("a1")}) in ready_sets(term)
+        assert frozenset({Send("a2")}) in ready_sets(term)
+
+    def test_example_recursive_loop(self):
+        """H = μh.(ā1 ⊕ ā2)·b̄·h  has ready sets {ā1} and {ā2}."""
+        body = seq(internal(("a1", EPSILON), ("a2", EPSILON)),
+                   send("b", Var("h")))
+        term = mu("h", body)
+        assert ready_sets(term) == rs({Send("a1")}, {Send("a2")})
+
+    def test_example_seq_fallthrough(self):
+        """ε·(a + b)·(d̄ ⊕ ē) ⇓ {a, b}."""
+        term = seq(EPSILON,
+                   external(("a", EPSILON), ("b", EPSILON)),
+                   internal(("d", EPSILON), ("e", EPSILON)))
+        assert ready_sets(term) == rs({Receive("a"), Receive("b")})
+
+
+class TestSequencing:
+    def test_first_nonempty_hides_second(self):
+        term = seq(send("a"), receive("b"))
+        assert ready_sets(term) == rs({Send("a")})
+
+    def test_empty_first_falls_through(self):
+        term = seq(EPSILON, send("a"))
+        assert ready_sets(term) == rs({Send("a")})
+
+    def test_mu_delegates_to_body(self):
+        term = mu("h", receive("a", Var("h")))
+        assert ready_sets(term) == rs({Receive("a")})
+
+
+class TestNonContracts:
+    @pytest.mark.parametrize("term", [
+        event("e"),
+        Framing(forbid("x"), EPSILON),
+    ])
+    def test_unprojected_nodes_rejected(self, term):
+        with pytest.raises(TypeError):
+            ready_sets(term)
+
+
+class TestCoSet:
+    def test_co_set_flips_polarity(self):
+        actions = frozenset({Send("a"), Receive("b")})
+        assert co_set(actions) == frozenset({Receive("a"), Send("b")})
+
+    def test_co_set_is_involutive(self):
+        actions = frozenset({Send("a"), Receive("b"), Send("c")})
+        assert co_set(co_set(actions)) == actions
+
+    def test_co_set_of_empty(self):
+        assert co_set(frozenset()) == frozenset()

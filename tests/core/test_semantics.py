@@ -1,0 +1,127 @@
+"""Tests for the stand-alone operational semantics (the rules of Sect. 3)."""
+
+import pytest
+
+from repro.core.actions import (Event, FrameClose, FrameOpen, Receive, Send,
+                                SessionClose, SessionOpen)
+from repro.core.errors import OpenTermError, WellFormednessError
+from repro.core.semantics import (can_step, enabled_labels, is_terminated,
+                                  step, successors, traces)
+from repro.core.syntax import (EPSILON, ClosePending, FrameClosePending,
+                               Framing, Mu, Var, event, external, internal,
+                               mu, receive, request, send, seq)
+from repro.policies.library import forbid
+
+PHI = forbid("boom")
+
+
+class TestAxioms:
+    def test_epsilon_is_stuck(self):
+        assert successors(EPSILON) == ()
+        assert is_terminated(EPSILON)
+
+    def test_event_fires_and_terminates(self):
+        moves = successors(event("sgn", 3))
+        assert moves == ((Event("sgn", (3,)), EPSILON),)
+
+    def test_internal_choice_offers_each_output(self):
+        term = internal(("a", event("x")), ("b", event("y")))
+        moves = dict(successors(term))
+        assert moves == {Send("a"): event("x"), Send("b"): event("y")}
+
+    def test_external_choice_offers_each_input(self):
+        term = external(("a", EPSILON), ("b", EPSILON))
+        assert enabled_labels(term) == {Receive("a"), Receive("b")}
+
+    def test_session_open_leaves_close_pending(self):
+        term = request("r", PHI, send("a"))
+        ((label, residual),) = successors(term)
+        assert label == SessionOpen("r", PHI)
+        assert residual == seq(send("a"), ClosePending("r", PHI))
+
+    def test_close_pending_fires_close(self):
+        ((label, residual),) = successors(ClosePending("r", PHI))
+        assert label == SessionClose("r", PHI)
+        assert residual == EPSILON
+
+    def test_framing_opens_and_leaves_close_pending(self):
+        term = Framing(PHI, event("e"))
+        ((label, residual),) = successors(term)
+        assert label == FrameOpen(PHI)
+        assert residual == seq(event("e"), FrameClosePending(PHI))
+
+    def test_frame_close_pending_fires(self):
+        ((label, residual),) = successors(FrameClosePending(PHI))
+        assert label == FrameClose(PHI)
+        assert residual == EPSILON
+
+
+class TestSequencing:
+    def test_seq_steps_through_first(self):
+        term = seq(event("a"), event("b"))
+        ((label, residual),) = successors(term)
+        assert label == Event("a")
+        assert residual == event("b")
+
+    def test_seq_preserves_continuation_under_choice(self):
+        term = seq(external(("a", event("x")), ("b", EPSILON)), event("z"))
+        moves = dict(successors(term))
+        assert moves[Receive("a")] == seq(event("x"), event("z"))
+        assert moves[Receive("b")] == event("z")
+
+    def test_empty_framing_reduces_to_close(self):
+        term = Framing(PHI, EPSILON)
+        ((_, residual),) = successors(term)
+        assert residual == FrameClosePending(PHI)
+
+
+class TestRecursion:
+    def test_mu_unfolds_transparently(self):
+        loop = mu("h", receive("ping", send("pong", Var("h"))))
+        ((label, residual),) = successors(loop)
+        assert label == Receive("ping")
+        assert residual == send("pong", loop)
+
+    def test_recursion_is_finite_state(self):
+        loop = mu("h", receive("ping", send("pong", Var("h"))))
+        first = dict(successors(loop))[Receive("ping")]
+        second = dict(successors(first))[Send("pong")]
+        assert second == loop  # the loop closes on itself
+
+    def test_unguarded_recursion_raises(self):
+        bad = Mu("h", Mu("k", Var("h")))
+        with pytest.raises(WellFormednessError):
+            list(step(bad))
+
+    def test_open_term_raises(self):
+        with pytest.raises(OpenTermError):
+            list(step(Var("h")))
+
+    def test_open_term_under_seq_raises(self):
+        with pytest.raises(OpenTermError):
+            list(step(seq(Var("h"), event("a"))))
+
+
+class TestDerivedObservations:
+    def test_can_step(self):
+        assert can_step(event("a"))
+        assert not can_step(EPSILON)
+
+    def test_traces_enumerates_maximal_runs(self):
+        term = seq(internal(("a", EPSILON), ("b", EPSILON)), event("z"))
+        runs = set(traces(term, max_length=10))
+        assert runs == {
+            (Send("a"), Event("z")),
+            (Send("b"), Event("z")),
+        }
+
+    def test_traces_respects_length_cap(self):
+        loop = mu("h", receive("ping", Var("h")))
+        runs = list(traces(loop, max_length=3))
+        assert runs == [(Receive("ping"),) * 3]
+
+    def test_whole_request_trace(self):
+        term = request("r", PHI, send("a"))
+        (run,) = traces(term, max_length=10)
+        assert run == (SessionOpen("r", PHI), Send("a"),
+                       SessionClose("r", PHI))

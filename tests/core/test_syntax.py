@@ -1,0 +1,173 @@
+"""Tests for the history-expression AST and its structural operations."""
+
+import pytest
+
+from repro.core.actions import Receive, Send
+from repro.core.syntax import (EPSILON, Epsilon, EventNode, ExternalChoice,
+                               Framing, InternalChoice, Mu, Request, Seq,
+                               Var, channels_of, event, events_of, external,
+                               free_variables, internal, is_closed, mu,
+                               policies_of, receive, request, requests_of,
+                               send, seq, substitute, unfold)
+from repro.policies.library import forbid
+
+
+class TestSeqSmartConstructor:
+    def test_epsilon_is_left_unit(self):
+        term = send("a")
+        assert seq(EPSILON, term) == term
+
+    def test_epsilon_is_right_unit(self):
+        term = send("a")
+        assert seq(term, EPSILON) == term
+
+    def test_empty_composition_is_epsilon(self):
+        assert seq() == EPSILON
+        assert seq(EPSILON, EPSILON) == EPSILON
+
+    def test_right_association(self):
+        a, b, c = event("a"), event("b"), event("c")
+        assert seq(seq(a, b), c) == seq(a, seq(b, c))
+        assert seq(seq(a, b), c) == seq(a, b, c)
+
+    def test_structure_of_flattened_seq(self):
+        a, b, c = event("a"), event("b"), event("c")
+        term = seq(a, b, c)
+        assert isinstance(term, Seq)
+        assert term.first == a
+        assert isinstance(term.second, Seq)
+
+    def test_nested_epsilons_vanish(self):
+        a = event("a")
+        assert seq(EPSILON, seq(a, EPSILON), EPSILON) == a
+
+
+class TestConvenienceConstructors:
+    def test_send_is_single_branch_internal_choice(self):
+        term = send("a")
+        assert isinstance(term, InternalChoice)
+        assert term.branches == ((Send("a"), EPSILON),)
+
+    def test_receive_is_single_branch_external_choice(self):
+        term = receive("a", event("e"))
+        assert isinstance(term, ExternalChoice)
+        assert term.branches == ((Receive("a"), event("e")),)
+
+    def test_external_accepts_strings_and_labels(self):
+        term = external(("a", EPSILON), (Receive("b"), EPSILON))
+        assert {label.channel for label, _ in term.branches} == {"a", "b"}
+
+    def test_internal_accepts_strings_and_labels(self):
+        term = internal(("a", EPSILON), (Send("b"), EPSILON))
+        assert all(isinstance(label, Send) for label, _ in term.branches)
+
+    def test_event_builds_params_tuple(self):
+        node = event("sgn", 1, "x")
+        assert node.event.name == "sgn"
+        assert node.event.params == (1, "x")
+
+    def test_request_coerces_id_to_string(self):
+        node = request(3, None, EPSILON)
+        assert node.request == "3"
+
+
+class TestFreeVariables:
+    def test_var_is_free(self):
+        assert free_variables(Var("h")) == {"h"}
+
+    def test_mu_binds(self):
+        assert free_variables(mu("h", receive("a", Var("h")))) == frozenset()
+
+    def test_mu_leaves_other_vars_free(self):
+        term = mu("h", receive("a", Var("k")))
+        assert free_variables(term) == {"k"}
+
+    def test_closedness(self):
+        assert is_closed(EPSILON)
+        assert not is_closed(Var("h"))
+        assert is_closed(mu("h", send("a", Var("h"))))
+
+    def test_free_vars_through_all_constructs(self):
+        term = seq(Framing(forbid("x"), Var("h")),
+                   request("r", None, Var("k")))
+        assert free_variables(term) == {"h", "k"}
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        assert substitute(Var("h"), "h", EPSILON) == EPSILON
+
+    def test_substitute_other_var_unchanged(self):
+        assert substitute(Var("k"), "h", EPSILON) == Var("k")
+
+    def test_substitute_stops_at_shadowing_mu(self):
+        inner = mu("h", receive("a", Var("h")))
+        assert substitute(inner, "h", event("e")) == inner
+
+    def test_substitute_under_choices(self):
+        term = external(("a", Var("h")), ("b", EPSILON))
+        result = substitute(term, "h", event("e"))
+        assert result.branches[0][1] == event("e")
+
+    def test_capture_avoidance(self):
+        # μk.(a.h) with h := k  must not capture the free k.
+        term = Mu("k", receive("a", Var("h")))
+        result = substitute(term, "h", Var("k"))
+        assert isinstance(result, Mu)
+        assert result.var != "k"
+        assert free_variables(result) == {"k"}
+
+    def test_unfold_substitutes_recursively(self):
+        loop = mu("h", receive("a", Var("h")))
+        unfolded = unfold(loop)
+        assert unfolded == receive("a", loop)
+
+
+class TestStructuralQueries:
+    def test_requests_of_finds_nested(self):
+        inner = request("r2", None, send("x"))
+        outer = request("r1", None, seq(send("a"), inner))
+        found = requests_of(outer)
+        assert [node.request for node in found] == ["r1", "r2"]
+
+    def test_events_of(self):
+        term = seq(event("sgn", 1), receive("a", event("p", 45)))
+        names = {e.name for e in events_of(term)}
+        assert names == {"sgn", "p"}
+
+    def test_channels_of(self):
+        term = seq(send("out"), external(("in1", EPSILON),
+                                         ("in2", EPSILON)))
+        assert channels_of(term) == {"out", "in1", "in2"}
+
+    def test_policies_of(self):
+        phi = forbid("boom")
+        term = seq(Framing(phi, EPSILON), request("r", phi, EPSILON))
+        assert policies_of(term) == {phi}
+
+    def test_policies_of_ignores_empty_request_policy(self):
+        term = request("r", None, EPSILON)
+        assert policies_of(term) == frozenset()
+
+    def test_walk_is_preorder(self):
+        a, b = event("a"), event("b")
+        term = seq(a, b)
+        nodes = list(term.walk())
+        assert nodes[0] is term
+        assert a in nodes and b in nodes
+
+
+class TestHashabilityAndEquality:
+    def test_terms_are_hashable(self):
+        terms = {EPSILON, Epsilon(), event("a"), send("x"),
+                 mu("h", receive("a", Var("h")))}
+        assert EPSILON in terms
+        # Epsilon() == EPSILON so the set deduplicates them.
+        assert len([t for t in terms if isinstance(t, Epsilon)]) == 1
+
+    def test_structural_equality(self):
+        assert external(("a", EPSILON)) == external(("a", EPSILON))
+        assert external(("a", EPSILON)) != internal(("a", EPSILON))
+
+    def test_event_node_equality(self):
+        assert EventNode(event("a").event) == event("a")

@@ -1,0 +1,192 @@
+"""Tests for histories, AP, balance and validity (Section 3.1)."""
+
+import pytest
+
+from repro.core.actions import Event, FrameClose, FrameOpen, Send
+from repro.core.validity import (EMPTY_HISTORY, History, ValidityMonitor,
+                                 first_invalid_prefix, is_valid)
+from repro.policies.library import at_most, forbid, never_after
+
+#: φ: no α (write) after γ (read) — the shape of the paper's example.
+PHI = never_after("gamma", "alpha")
+
+GAMMA = Event("gamma")
+ALPHA = Event("alpha")
+BETA = Event("beta")
+
+
+class TestHistoryBasics:
+    def test_empty_history(self):
+        assert len(EMPTY_HISTORY) == 0
+        assert str(EMPTY_HISTORY) == "ε"
+
+    def test_append_and_extend(self):
+        eta = EMPTY_HISTORY.append(GAMMA).extend([ALPHA, BETA])
+        assert tuple(eta) == (GAMMA, ALPHA, BETA)
+
+    def test_add_operator(self):
+        eta = History([GAMMA]) + [ALPHA]
+        assert isinstance(eta, History)
+        assert tuple(eta) == (GAMMA, ALPHA)
+
+    def test_rejects_non_history_labels(self):
+        with pytest.raises(TypeError):
+            History([Send("a")])
+
+    def test_flatten_erases_framings(self):
+        eta = History([GAMMA, FrameOpen(PHI), ALPHA, FrameClose(PHI)])
+        assert eta.flatten() == (GAMMA, ALPHA)
+
+    def test_prefixes_shortest_first(self):
+        eta = History([GAMMA, ALPHA])
+        assert [len(p) for p in eta.prefixes()] == [0, 1, 2]
+
+
+class TestActivePolicies:
+    def test_ap_of_empty(self):
+        assert EMPTY_HISTORY.active_policies() == {}
+
+    def test_ap_counts_activations(self):
+        psi = forbid("x")
+        eta = History([FrameOpen(PHI), FrameOpen(PSI := psi),
+                       FrameOpen(PHI)])
+        active = eta.active_policies()
+        assert active[PHI] == 2 and active[PSI] == 1
+
+    def test_ap_removes_closed(self):
+        eta = History([FrameOpen(PHI), GAMMA, FrameClose(PHI)])
+        assert eta.active_policies() == {}
+
+    def test_events_do_not_affect_ap(self):
+        eta = History([GAMMA, ALPHA])
+        assert eta.active_policies() == {}
+
+
+class TestBalance:
+    def test_empty_is_balanced(self):
+        assert EMPTY_HISTORY.is_balanced()
+
+    def test_events_are_balanced(self):
+        assert History([GAMMA, ALPHA]).is_balanced()
+
+    def test_framed_history_is_balanced(self):
+        eta = History([FrameOpen(PHI), GAMMA, FrameClose(PHI)])
+        assert eta.is_balanced()
+
+    def test_open_framing_is_prefix_only(self):
+        eta = History([FrameOpen(PHI), GAMMA])
+        assert not eta.is_balanced()
+        assert eta.is_prefix_of_balanced()
+
+    def test_improper_nesting_rejected(self):
+        psi = forbid("x")
+        eta = History([FrameOpen(PHI), FrameOpen(psi),
+                       FrameClose(PHI), FrameClose(psi)])
+        assert not eta.is_balanced()
+        assert not eta.is_prefix_of_balanced()
+
+    def test_unmatched_close_rejected(self):
+        assert not History([FrameClose(PHI)]).is_prefix_of_balanced()
+
+
+class TestValidity:
+    """The paper's worked example: φ = 'no α after γ'."""
+
+    def test_paper_negative_example(self):
+        # γ·α·Lφ·β is NOT valid: when β fires, φ is active and the
+        # flattened prefix γ·α already disobeys it.
+        eta = History([GAMMA, ALPHA, FrameOpen(PHI), BETA])
+        assert not is_valid(eta)
+
+    def test_paper_positive_example(self):
+        # Lφ·γ·Mφ·α·β is valid: φ is closed before α fires.
+        eta = History([FrameOpen(PHI), GAMMA, FrameClose(PHI), ALPHA, BETA])
+        assert is_valid(eta)
+
+    def test_violation_inside_framing(self):
+        eta = History([FrameOpen(PHI), GAMMA, ALPHA, FrameClose(PHI)])
+        assert not is_valid(eta)
+
+    def test_history_dependence_at_opening(self):
+        # The violating pair precedes the framing entirely; opening the
+        # framing is what makes the history invalid.
+        eta = History([GAMMA, ALPHA, FrameOpen(PHI)])
+        assert not is_valid(eta)
+        assert is_valid(History([GAMMA, ALPHA]))
+
+    def test_empty_history_is_valid(self):
+        assert is_valid(EMPTY_HISTORY)
+
+    def test_accepts_plain_iterables(self):
+        assert is_valid([GAMMA, ALPHA])
+
+    def test_first_invalid_prefix(self):
+        eta = History([GAMMA, FrameOpen(PHI), ALPHA, BETA])
+        prefix = first_invalid_prefix(eta)
+        assert prefix is not None
+        assert tuple(prefix) == (GAMMA, FrameOpen(PHI), ALPHA)
+
+    def test_first_invalid_prefix_none_when_valid(self):
+        eta = History([FrameOpen(PHI), GAMMA, FrameClose(PHI), ALPHA])
+        assert first_invalid_prefix(eta) is None
+
+    def test_multiset_activation(self):
+        # Two activations: closing one keeps φ active.
+        eta = History([FrameOpen(PHI), FrameOpen(PHI), FrameClose(PHI),
+                       GAMMA, ALPHA])
+        assert not is_valid(eta)
+
+    def test_counting_policy(self):
+        bound = at_most("tick", 2)
+        ok = History([FrameOpen(bound), Event("tick"), Event("tick")])
+        bad = ok.append(Event("tick"))
+        assert is_valid(ok)
+        assert not is_valid(bad)
+
+
+class TestValidityMonitor:
+    def test_monitor_matches_declarative_checker(self):
+        labels = [GAMMA, FrameOpen(PHI), BETA, FrameClose(PHI), ALPHA]
+        monitor = ValidityMonitor()
+        eta = EMPTY_HISTORY
+        for label in labels:
+            eta = eta.append(label)
+            monitor.extend(label)
+            assert monitor.valid == is_valid(eta)
+
+    def test_can_extend_is_pure(self):
+        monitor = ValidityMonitor([GAMMA, FrameOpen(PHI)])
+        assert not monitor.can_extend(ALPHA)
+        assert monitor.valid  # nothing was recorded
+        assert monitor.can_extend(BETA)
+
+    def test_can_extend_framing_checks_past(self):
+        monitor = ValidityMonitor([GAMMA, ALPHA])
+        assert not monitor.can_extend(FrameOpen(PHI))
+        assert monitor.can_extend(FrameOpen(forbid("unrelated")))
+
+    def test_extend_records_violation(self):
+        monitor = ValidityMonitor()
+        monitor.extend(FrameOpen(PHI))
+        monitor.extend(GAMMA)
+        assert monitor.extend(ALPHA) is False
+        assert not monitor.valid
+
+    def test_frame_close_reenables_events(self):
+        monitor = ValidityMonitor([GAMMA, FrameOpen(PHI),
+                                   FrameClose(PHI)])
+        assert monitor.can_extend(ALPHA)
+
+    def test_copy_is_independent(self):
+        monitor = ValidityMonitor([FrameOpen(PHI), GAMMA])
+        clone = monitor.copy()
+        monitor.extend(ALPHA)
+        assert not monitor.valid
+        assert clone.valid
+        assert clone.can_extend(BETA)
+
+    def test_active_policies_tracking(self):
+        monitor = ValidityMonitor([FrameOpen(PHI), FrameOpen(PHI)])
+        assert monitor.active_policies()[PHI] == 2
+        monitor.extend(FrameClose(PHI))
+        assert monitor.active_policies()[PHI] == 1

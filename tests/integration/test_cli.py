@@ -1,0 +1,181 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import load_network, main
+
+NETWORK = """
+[policies.phi]
+schema = "never_after"
+schema_args = ["archive", "modify"]
+args = {}
+
+[clients.me]
+term = "open r with phi { !job . (?done + ?failed) }"
+
+[services.good]
+term = "?job . { @modify(1) ; @archive(1) ; !done }"
+
+[services.sloppy]
+term = "?job . { @archive(1) ; @modify(1) ; !failed }"
+"""
+
+BROKEN_POLICY = """
+[policies.phi]
+schema = "no_such_schema"
+
+[clients.me]
+term = "eps"
+"""
+
+
+@pytest.fixture()
+def network_file(tmp_path):
+    path = tmp_path / "net.toml"
+    path.write_text(NETWORK)
+    return str(path)
+
+
+class TestLoadNetwork:
+    def test_loads_policies_clients_services(self, network_file):
+        network = load_network(network_file)
+        assert set(network.policies) == {"phi"}
+        assert set(network.clients) == {"me"}
+        assert set(network.services) == {"good", "sloppy"}
+
+    def test_unknown_schema_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(BROKEN_POLICY)
+        from repro.core.errors import ReproError
+        with pytest.raises(ReproError, match="unknown schema"):
+            load_network(path)
+
+    def test_term_lookup(self, network_file):
+        network = load_network(network_file)
+        assert network.term("me") is network.clients["me"]
+        assert network.term("good") is network.services["good"]
+        from repro.core.errors import ReproError
+        with pytest.raises(ReproError):
+            network.term("ghost")
+
+
+class TestCommands:
+    def test_check(self, network_file, capsys):
+        assert main(["check", network_file]) == 0
+        out = capsys.readouterr().out
+        assert "me: well formed" in out
+
+    def test_verify_success(self, network_file, capsys):
+        assert main(["verify", network_file]) == 0
+        out = capsys.readouterr().out
+        assert "r[good]" in out
+        assert "switch off the monitor" in out
+
+    def test_compliance_positive(self, network_file, capsys):
+        assert main(["compliance", network_file, "me", "good"]) == 0
+        assert "compliant" in capsys.readouterr().out
+
+    def test_compliance_negative(self, tmp_path, capsys):
+        path = tmp_path / "net.toml"
+        path.write_text("""
+[clients.me]
+term = "open r { !job . ?done }"
+
+[services.mute]
+term = "?job"
+""")
+        assert main(["compliance", str(path), "me", "mute"]) == 1
+        assert "NOT compliant" in capsys.readouterr().out
+
+    def test_simulate(self, network_file, capsys):
+        assert main(["simulate", network_file, "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "terminated: True" in out
+
+    def test_simulate_unverifiable_network_fails(self, tmp_path, capsys):
+        path = tmp_path / "net.toml"
+        path.write_text("""
+[clients.me]
+term = "open r { !job . ?done }"
+
+[services.mute]
+term = "?job"
+""")
+        assert main(["simulate", str(path)]) == 1
+
+    def test_dot_policy(self, network_file, capsys):
+        assert main(["dot", network_file, "phi"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_dot_contract(self, network_file, capsys):
+        assert main(["dot", network_file, "good"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["check", "/nonexistent/net.toml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_paper_toml_in_examples_verifies(self, capsys):
+        import pathlib
+        path = (pathlib.Path(__file__).resolve().parents[2]
+                / "examples" / "hotel_booking.toml")
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "r3[ls3]" in out and "r3[ls4]" in out
+
+
+SUS_NETWORK = """
+policy phi = never_after(archive, modify)
+
+client me = open r with phi { !job . (?done + ?failed) }
+
+service good   = ?job . { @modify(1) ; @archive(1) ; !done }
+service sloppy = ?job . { @archive(1) ; @modify(1) ; !failed }
+"""
+
+
+class TestModuleFormat:
+    def test_sus_file_verifies(self, tmp_path, capsys):
+        path = tmp_path / "net.sus"
+        path.write_text(SUS_NETWORK)
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "r[good]" in out
+
+    def test_sus_and_toml_agree(self, network_file, tmp_path, capsys):
+        sus = tmp_path / "net.sus"
+        sus.write_text(SUS_NETWORK)
+        assert main(["verify", str(sus)]) == 0
+        sus_out = capsys.readouterr().out
+        assert main(["verify", network_file]) == 0
+        toml_out = capsys.readouterr().out
+        assert sus_out == toml_out
+
+    def test_simulate_sus_with_trace(self, tmp_path, capsys):
+        path = tmp_path / "net.sus"
+        path.write_text(SUS_NETWORK)
+        assert main(["simulate", str(path), "--seed", "2",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "step   1:" in out
+        assert "final configuration:" in out
+
+
+class TestExplainCommand:
+    def test_explain_narrates_all_plans(self, network_file, capsys):
+        assert main(["explain", network_file, "me"]) == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "INSECURE" in out  # the sloppy worker's plan
+
+    def test_explain_unknown_client(self, network_file, capsys):
+        assert main(["explain", network_file, "ghost"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_exit_code_without_valid_plan(self, tmp_path, capsys):
+        path = tmp_path / "net.sus"
+        path.write_text("""
+client me = open r { !job . ?done }
+service mute = ?job
+""")
+        assert main(["explain", str(path), "me"]) == 1

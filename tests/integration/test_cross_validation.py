@@ -1,0 +1,112 @@
+"""Cross-validation of the modular static analysis against the exhaustive
+network explorer on a battery of small networks.
+
+This is the strongest guarantee the test suite gives: for every candidate
+plan of every scenario, the paper's compose-and-check analysis and the
+brute-force semantics agree on validity.
+"""
+
+import pytest
+
+from repro.analysis.planner import analyze_plan, enumerate_plans
+from repro.core.syntax import (EPSILON, Framing, Var, event, external,
+                               internal, mu, receive, request, send, seq)
+from repro.network.config import Component, Configuration
+from repro.network.explorer import plan_is_valid_exhaustive
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.policies.library import (at_most, forbid, never_after,
+                                    require_before)
+
+
+def scenario_paper():
+    return (figure2.client_1(), figure2.repository())
+
+
+def scenario_paper_c2():
+    return (figure2.client_2(), figure2.repository())
+
+
+def scenario_policy_mix():
+    phi = never_after("archive", "modify")
+    client = request("r", phi, seq(send("job"),
+                                   external(("done", EPSILON),
+                                            ("failed", EPSILON))))
+    repo = Repository({
+        "good": receive("job", seq(event("modify", 1),
+                                   event("archive", 1), send("done"))),
+        "sloppy": receive("job", seq(event("archive", 1),
+                                     event("modify", 1), send("failed"))),
+        "chatty": receive("job", internal(("done", EPSILON),
+                                          ("progress", EPSILON))),
+    })
+    return client, repo
+
+
+def scenario_nested():
+    phi = require_before("auth", "charge")
+    client = request("checkout", phi,
+                     seq(send("order"), external(("receipt", send("ack")),
+                                                 ("declined", EPSILON))))
+    store = receive("order", seq(
+        request("capture", None, seq(send("amount"),
+                                     external(("ok", EPSILON),
+                                              ("fail", EPSILON)))),
+        internal(("receipt", receive("ack")), ("declined", EPSILON))))
+    repo = Repository({
+        "store": store,
+        "fastpay": receive("amount", seq(event("auth", 9),
+                                         event("charge", 9),
+                                         internal(("ok", EPSILON),
+                                                  ("fail", EPSILON)))),
+        "sketchpay": receive("amount", seq(event("charge", 9),
+                                           internal(("ok", EPSILON),
+                                                    ("fail", EPSILON)))),
+    })
+    return client, repo
+
+
+def scenario_counting():
+    phi = at_most("tick", 2)
+    client = request("r", phi, seq(send("go"), send("go"),
+                                   send("stop")))
+    ticker = mu("k", external(("go", seq(event("tick"), Var("k"))),
+                              ("stop", EPSILON)))
+    double = mu("k", external(("go", seq(event("tick"), event("tick"),
+                                         Var("k"))),
+                              ("stop", EPSILON)))
+    return client, Repository({"one": ticker, "two": double})
+
+
+SCENARIOS = [
+    pytest.param(scenario_paper, id="paper-c1"),
+    pytest.param(scenario_paper_c2, id="paper-c2"),
+    pytest.param(scenario_policy_mix, id="policy-mix"),
+    pytest.param(scenario_nested, id="nested-sessions"),
+    pytest.param(scenario_counting, id="counting-recursion"),
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_static_analysis_agrees_with_exhaustive_oracle(scenario):
+    client, repo = scenario()
+    config = Configuration.of(Component.client("client", client))
+    plans = list(enumerate_plans(client, repo))
+    assert plans, "scenario must induce at least one candidate plan"
+    disagreements = []
+    for plan in plans:
+        static = analyze_plan(client, plan, repo).valid
+        oracle = plan_is_valid_exhaustive(config, plan, repo)
+        if static != oracle:
+            disagreements.append((str(plan), static, oracle))
+    assert not disagreements, disagreements
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_each_scenario_is_discriminating(scenario):
+    """Sanity: every scenario has both valid and invalid candidates
+    (otherwise the cross-validation above proves little)."""
+    client, repo = scenario()
+    verdicts = {analyze_plan(client, plan, repo).valid
+                for plan in enumerate_plans(client, repo)}
+    assert verdicts == {True, False}

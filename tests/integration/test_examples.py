@@ -1,0 +1,31 @@
+"""Every example script must run to completion (their inline asserts do
+the actual checking)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout  # examples narrate what they demonstrate
+
+
+NETWORK_FILES = sorted(
+    path for pattern in ("*.toml", "*.sus")
+    for path in (pathlib.Path(__file__).resolve().parents[2]
+                 / "examples").glob(pattern))
+
+
+@pytest.mark.parametrize("network", NETWORK_FILES, ids=lambda p: p.name)
+def test_example_network_files_verify(network):
+    from repro.cli import main
+    assert main(["verify", str(network)]) == 0

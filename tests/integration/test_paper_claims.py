@@ -1,0 +1,154 @@
+"""End-to-end checks of every claim the paper's Section 2 states about
+the motivating example, plus the Figure 3 computation."""
+
+import pytest
+
+from repro.analysis.planner import analyze_plan, find_valid_plans
+from repro.analysis.requests import extract_requests
+from repro.core.actions import Event
+from repro.core.compliance import compliant, compliant_coinductive
+from repro.core.plans import Plan
+from repro.paper import figure2, figure3
+
+
+def hotel_trace(identifier, price, rating):
+    return (Event("sgn", (identifier,)), Event("p", (price,)),
+            Event("ta", (rating,)))
+
+
+HOTEL_TRACES = {
+    "ls1": hotel_trace(1, 45, 80),
+    "ls2": hotel_trace(2, 70, 100),
+    "ls3": hotel_trace(3, 90, 100),
+    "ls4": hotel_trace(4, 50, 90),
+}
+
+
+class TestComplianceClaims:
+    """'Since Br is ready to receive each sent message, we say that the
+    mentioned services are compliant with Br.  Instead, service S2 is not
+    compliant with Br since it can send a message Del …'"""
+
+    @pytest.mark.parametrize("location,expected", [
+        ("ls1", True), ("ls2", False), ("ls3", True), ("ls4", True)])
+    def test_hotels_vs_broker(self, repo, broker_term, location, expected):
+        (broker_request,) = extract_requests(broker_term)
+        assert compliant(broker_request.body, repo[location]) is expected
+
+    def test_both_deciders_agree_on_the_matrix(self, repo, broker_term):
+        (broker_request,) = extract_requests(broker_term)
+        for location in figure2.LOC_HOTELS:
+            assert (compliant(broker_request.body, repo[location])
+                    == compliant_coinductive(broker_request.body,
+                                             repo[location]))
+
+    def test_clients_are_compliant_with_broker(self, repo, c1, c2):
+        for client in (c1, c2):
+            (info,) = extract_requests(client)
+            assert compliant(info.body, repo[figure2.LOC_BROKER])
+
+
+class TestSecurityClaims:
+    """'… the services S1 and S4 violate the policy of C1 … while the
+    services S1, S3 do not satisfy the policy of C2 since they are black
+    listed.'"""
+
+    @pytest.mark.parametrize("location,expected", [
+        ("ls1", False), ("ls2", True), ("ls3", True), ("ls4", False)])
+    def test_phi1_verdicts(self, phi1, location, expected):
+        assert phi1.respects(HOTEL_TRACES[location]) is expected
+
+    @pytest.mark.parametrize("location,expected", [
+        ("ls1", False), ("ls2", True), ("ls3", False), ("ls4", True)])
+    def test_phi2_verdicts(self, phi2, location, expected):
+        assert phi2.respects(HOTEL_TRACES[location]) is expected
+
+
+class TestPlanClaims:
+    def test_pi1_is_valid(self, repo, c1):
+        """'We call π1 valid, because it drives a computation where both
+        the security constraints and compliance are guaranteed.'"""
+        analysis = analyze_plan(c1, figure2.plan_pi1(), repo,
+                                figure2.LOC_CLIENT_1)
+        assert analysis.valid
+
+    def test_pi1_is_the_only_valid_plan_for_c1(self, repo, c1):
+        result = find_valid_plans(c1, repo, location=figure2.LOC_CLIENT_1)
+        assert [a.plan for a in result.valid_plans] == [figure2.plan_pi1()]
+
+    def test_s2_plan_rejected_for_compliance(self, repo, c2):
+        """'Since S2 does not comply with Br … this plan is not valid.'"""
+        analysis = analyze_plan(c2, figure2.plan_pi2_bad_compliance(),
+                                repo, figure2.LOC_CLIENT_2)
+        assert not analysis.valid
+        assert not analysis.compliant
+        assert analysis.secure  # compliance, not security, is the flaw
+
+    def test_s3_plan_rejected_for_security(self, repo, c2):
+        """'However S3 is black-listed by C2, and so a policy violation
+        occurs; also this plan is not valid.'"""
+        analysis = analyze_plan(c2, figure2.plan_pi2_bad_security(), repo,
+                                figure2.LOC_CLIENT_2)
+        assert not analysis.valid
+        assert analysis.compliant  # S3 IS compliant with the broker
+        assert not analysis.secure
+
+    def test_c2_valid_plan_uses_s4(self, repo, c2):
+        result = find_valid_plans(c2, repo, location=figure2.LOC_CLIENT_2)
+        assert [a.plan for a in result.valid_plans] == \
+            [figure2.plan_pi2_valid()]
+
+    def test_direct_hotel_plans_fail_compliance(self, repo, c1):
+        # Binding the client's own session to a hotel (skipping the
+        # broker) can never work: hotels don't speak Req.
+        for location in figure2.LOC_HOTELS:
+            analysis = analyze_plan(c1, Plan.single("1", location), repo)
+            assert not analysis.valid
+
+
+class TestFigure3:
+    def test_fragment_replays_with_exact_histories(self, phi1, phi2):
+        from repro.core.actions import FrameClose, FrameOpen
+        simulator, fired = figure3.replay()
+        assert len(fired) == 13
+        history_c1, history_c2 = simulator.histories()
+        assert tuple(history_c1) == (
+            FrameOpen(phi1), Event("sgn", (3,)), Event("p", (90,)),
+            Event("ta", (100,)), FrameClose(phi1))
+        assert tuple(history_c2) == (FrameOpen(phi2),)
+
+    def test_fragment_respects_monitoring(self):
+        # The same 13 steps fire with the angelic filter on: the run
+        # never needs angelic help under the valid plan vector.
+        monitored, _ = figure3.replay(monitored=True)
+        unmonitored, _ = figure3.replay(monitored=False)
+        assert monitored.histories() == unmonitored.histories()
+
+    def test_whole_network_terminates_after_fragment(self):
+        simulator, _ = figure3.replay()
+        simulator.run(max_steps=500)
+        assert simulator.is_terminated()
+        assert simulator.all_histories_valid()
+
+
+class TestHeadlineClaim:
+    """'With such plans, neither violations of security, nor missing
+    communications can occur, so there is no need for any execution
+    monitor at run-time.'"""
+
+    def test_valid_plans_never_need_the_monitor(self, repo, c1, c2):
+        from repro.core.plans import PlanVector
+        from repro.network.explorer import explore
+        config = figure2.initial_configuration()
+        plans = PlanVector.of(figure2.plan_pi1(), figure2.plan_pi2_valid())
+        result = explore(config, plans, repo)
+        assert result.valid
+        assert result.secure and result.unfailing
+
+    def test_invalid_plan_does_need_the_monitor(self, repo, c2):
+        from repro.network.config import Component, Configuration
+        from repro.network.explorer import explore
+        config = Configuration.of(
+            Component.client(figure2.LOC_CLIENT_2, c2))
+        result = explore(config, figure2.plan_pi2_bad_security(), repo)
+        assert not result.secure

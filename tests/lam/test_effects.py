@@ -1,0 +1,82 @@
+"""Tests for the effect algebra (distribution and joining)."""
+
+import pytest
+
+from repro.core.syntax import (EPSILON, event, external, internal, mu,
+                               receive, send, seq, Var)
+from repro.lam.effects import EffectJoinError, distribute, join
+
+
+class TestDistribute:
+    def test_atoms_unchanged(self):
+        for term in (EPSILON, event("e"), send("a")):
+            assert distribute(term) in (term, term)
+
+    def test_pushes_tail_into_external_choice(self):
+        term = seq(external(("a", EPSILON), ("b", event("x"))),
+                   event("z"))
+        result = distribute(term)
+        assert result == external(("a", event("z")),
+                                  ("b", seq(event("x"), event("z"))))
+
+    def test_pushes_tail_into_internal_choice(self):
+        term = seq(internal(("a", EPSILON)), send("next"))
+        result = distribute(term)
+        assert result == internal(("a", send("next")))
+
+    def test_distribution_preserves_behaviour(self):
+        from repro.contracts.lts import bisimilar, build_lts
+        from repro.core.semantics import step
+        term = seq(external(("a", event("x")), ("b", EPSILON)),
+                   internal(("c", EPSILON)))
+        assert bisimilar(build_lts(term, step),
+                         build_lts(distribute(term), step))
+
+    def test_event_head_stays_sequential(self):
+        term = seq(event("e"), send("a"))
+        assert distribute(term) == term
+
+
+class TestJoin:
+    def test_identical_effects(self):
+        term = seq(event("e"), send("a"))
+        assert join(term, term) == term
+
+    def test_two_outputs_become_internal_choice(self):
+        result = join(send("yes"), send("no"))
+        assert result == internal(("yes", EPSILON), ("no", EPSILON))
+
+    def test_two_inputs_become_external_choice(self):
+        result = join(receive("a"), receive("b"))
+        assert result == external(("a", EPSILON), ("b", EPSILON))
+
+    def test_sequenced_branches_distribute_first(self):
+        left = seq(send("yes"), event("log"))
+        right = send("no")
+        result = join(left, right)
+        assert result == internal(("yes", event("log")),
+                                  ("no", EPSILON))
+
+    def test_duplicate_channels_allowed(self):
+        # Both branches output on the same channel with different
+        # continuations: a genuinely nondeterministic internal choice.
+        result = join(send("a", event("x")), send("a", event("y")))
+        branches = result.branches
+        assert len(branches) == 2
+        assert {cont for _, cont in branches} == {event("x"), event("y")}
+
+    @pytest.mark.parametrize("left,right,fragment", [
+        (EPSILON, send("a"), "pure"),
+        (event("e"), send("a"), "event-guarded"),
+        (send("a"), receive("b"), "input-guarded"),
+        (mu("h", receive("x", Var("h"))), send("a"), "recursive"),
+    ])
+    def test_unjoinable_branches_explained(self, left, right, fragment):
+        with pytest.raises(EffectJoinError, match=fragment):
+            join(left, right)
+
+    def test_join_is_commutative_up_to_branch_order(self):
+        a, b = send("x", event("1")), send("y", event("2"))
+        forward = join(a, b)
+        backward = join(b, a)
+        assert set(forward.branches) == set(backward.branches)

@@ -1,0 +1,199 @@
+"""Tests for the type-and-effect system."""
+
+import pytest
+
+from repro.core.syntax import (EPSILON, EventNode, ExternalChoice, Framing,
+                               InternalChoice, Mu, Request)
+from repro.core.syntax import receive as he_receive
+from repro.core.syntax import send as he_send
+from repro.core.syntax import seq as he_seq, event as he_event
+from repro.lam import (BOOL, INT, STR, TFun, TypeEffectError, UNIT,
+                       UNIT_VALUE, app, cond, evt, extract, fix, infer,
+                       lam, let, lit, offer, open_session, recv, send,
+                       seq_terms, var, within)
+from repro.policies.library import forbid
+
+PHI = forbid("boom")
+
+
+class TestPureFragment:
+    def test_literals(self):
+        assert infer(lit(3)).type == INT
+        assert infer(lit("s")).type == STR
+        assert infer(lit(True)).type == BOOL
+        assert infer(UNIT_VALUE).type == UNIT
+        assert infer(lit(3)).effect == EPSILON
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypeEffectError, match="unbound"):
+            infer(var("ghost"))
+
+    def test_environment_lookup(self):
+        judgement = infer(var("x"), env={"x": INT})
+        assert judgement.type == INT
+
+    def test_lambda_is_pure_and_carries_latent(self):
+        function = lam("x", UNIT, evt("fire"))
+        judgement = infer(function)
+        assert judgement.effect == EPSILON
+        assert judgement.type == TFun(UNIT, EventNode(he_event("fire").event),
+                                      UNIT)
+
+    def test_application_unleashes_latent(self):
+        function = lam("x", UNIT, evt("fire"))
+        judgement = infer(app(function, UNIT_VALUE))
+        assert judgement.effect == he_event("fire")
+
+    def test_application_type_mismatch(self):
+        function = lam("x", INT, var("x"))
+        with pytest.raises(TypeEffectError, match="argument type"):
+            infer(app(function, lit("not an int")))
+
+    def test_applying_non_function(self):
+        with pytest.raises(TypeEffectError, match="non-function"):
+            infer(app(lit(3), lit(4)))
+
+    def test_let_sequences_effects(self):
+        term = let("x", evt("first"), seq_terms(evt("second"), var("x")))
+        judgement = infer(term)
+        assert judgement.effect == he_seq(he_event("first"),
+                                          he_event("second"))
+        assert judgement.type == UNIT
+
+
+class TestPrimitives:
+    def test_event_payloads(self):
+        judgement = infer(evt("sgn", 3))
+        assert judgement.effect == he_event("sgn", 3)
+
+    def test_send_evaluates_value_first(self):
+        term = send("chan", evt("compute"))
+        judgement = infer(term)
+        assert judgement.effect == he_seq(he_event("compute"),
+                                          he_send("chan"))
+        assert judgement.type == UNIT
+
+    def test_recv_types_the_value(self):
+        judgement = infer(recv("chan", INT))
+        assert judgement.type == INT
+        assert judgement.effect == he_receive("chan")
+
+    def test_offer_builds_external_choice(self):
+        term = offer(("a", evt("x")), ("b", UNIT_VALUE))
+        judgement = infer(term)
+        assert isinstance(judgement.effect, ExternalChoice)
+        assert judgement.type == UNIT
+
+    def test_offer_branch_type_mismatch(self):
+        with pytest.raises(TypeEffectError, match="disagree"):
+            infer(offer(("a", lit(1)), ("b", lit("s"))))
+
+    def test_empty_offer_rejected(self):
+        from repro.lam.syntax import Offer
+        with pytest.raises(TypeEffectError, match="at least one"):
+            infer(Offer(()))
+
+    def test_session_wraps_effect(self):
+        term = open_session("r", PHI, send("a"))
+        judgement = infer(term)
+        assert judgement.effect == Request("r", PHI, he_send("a"))
+
+    def test_framing_wraps_effect(self):
+        term = within(PHI, evt("e"))
+        assert infer(term).effect == Framing(PHI, he_event("e"))
+
+
+class TestConditionals:
+    def test_condition_must_be_bool(self):
+        with pytest.raises(TypeEffectError, match="bool"):
+            infer(cond(lit(1), UNIT_VALUE, UNIT_VALUE))
+
+    def test_branch_types_must_agree(self):
+        with pytest.raises(TypeEffectError, match="disagree"):
+            infer(cond(lit(True), lit(1), lit("s")))
+
+    def test_identical_branches_join_trivially(self):
+        term = cond(lit(True), evt("e"), evt("e"))
+        assert infer(term).effect == he_event("e")
+
+    def test_output_branches_join_to_internal_choice(self):
+        term = cond(var("b"), send("yes"), send("no"))
+        judgement = infer(term, env={"b": BOOL})
+        assert isinstance(judgement.effect, InternalChoice)
+
+    def test_condition_effect_prefixes_the_join(self):
+        term = cond(recv("flip", BOOL), send("yes"), send("no"))
+        effect = infer(term).effect
+        assert effect == he_seq(
+            he_receive("flip"),
+            InternalChoice(((he_send("yes").branches[0][0], EPSILON),
+                            (he_send("no").branches[0][0], EPSILON))))
+
+    def test_unjoinable_branches_are_type_errors(self):
+        from repro.lam.effects import EffectJoinError
+        with pytest.raises(EffectJoinError):
+            infer(cond(lit(True), evt("e"), send("a")))
+
+
+class TestRecursion:
+    def test_latent_effect_is_mu_closed(self):
+        ticker = fix("serve", "u", UNIT, UNIT,
+                     offer(("go", seq_terms(send("ack"),
+                                            app(var("serve"),
+                                                UNIT_VALUE))),
+                           ("stop", UNIT_VALUE)))
+        judgement = infer(ticker)
+        assert isinstance(judgement.type, TFun)
+        assert isinstance(judgement.type.latent, Mu)
+
+    def test_non_recursive_fix_has_plain_latent(self):
+        function = fix("f", "x", UNIT, UNIT, evt("once"))
+        latent = infer(function).type.latent
+        assert latent == he_event("once")
+
+    def test_recursive_call_type_checked(self):
+        bad = fix("f", "x", INT, UNIT,
+                  offer(("go", app(var("f"), lit("wrong")))))
+        with pytest.raises(TypeEffectError, match="recursive call"):
+            infer(bad)
+
+    def test_body_type_must_match_annotation(self):
+        bad = fix("f", "x", UNIT, INT, UNIT_VALUE)
+        with pytest.raises(TypeEffectError, match="annotation"):
+            infer(bad)
+
+    def test_bare_recursive_reference_rejected(self):
+        bad = fix("f", "x", UNIT, UNIT,
+                  let("alias", var("f"), UNIT_VALUE))
+        with pytest.raises(TypeEffectError, match="fully applied"):
+            infer(bad)
+
+    def test_unguarded_recursion_rejected(self):
+        bad = fix("f", "x", UNIT, UNIT, app(var("f"), UNIT_VALUE))
+        with pytest.raises(TypeEffectError, match="guarded-tail"):
+            infer(bad)
+
+    def test_non_tail_recursion_rejected(self):
+        bad = fix("f", "x", UNIT, UNIT,
+                  offer(("go", seq_terms(app(var("f"), UNIT_VALUE),
+                                         evt("after")))))
+        with pytest.raises(TypeEffectError, match="guarded-tail"):
+            infer(bad)
+
+
+class TestExtract:
+    def test_extract_checks_well_formedness(self):
+        term = seq_terms(evt("a"), send("out"))
+        effect = extract(term)
+        assert effect == he_seq(he_event("a"), he_send("out"))
+
+    def test_extracted_client_feeds_the_planner(self):
+        from repro.analysis.verification import verify_client
+        from repro.network.repository import Repository
+        client = extract(open_session("r", None,
+                                      seq_terms(send("job"),
+                                                offer(("done",
+                                                       UNIT_VALUE)))))
+        worker = extract(offer(("job", send("done"))))
+        verdict = verify_client(client, Repository({"w": worker}))
+        assert verdict.verified

@@ -1,0 +1,154 @@
+"""Tests for the λ-calculus concrete syntax."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.lam import (BOOL, INT, UNIT, UNIT_VALUE, App, Fix, If, Lam,
+                       Let, Lit, Offer, OpenSession, RecvT, SendT, Var,
+                       Within, extract, infer, parse_program, seq_terms)
+from repro.lam.types import TFun
+from repro.core.syntax import EPSILON
+from repro.policies.library import forbid
+
+PHI = forbid("boom")
+ENV = {"phi": PHI}
+
+
+class TestAtoms:
+    def test_unit(self):
+        assert parse_program("()") == UNIT_VALUE
+
+    def test_literals(self):
+        assert parse_program("42") == Lit(42)
+        assert parse_program('"text"') == Lit("text")
+        assert parse_program("true") == Lit(True)
+        assert parse_program("false") == Lit(False)
+
+    def test_variable(self):
+        assert parse_program("x") == Var("x")
+
+    def test_event(self):
+        term = parse_program("@sgn(3)")
+        assert term.name == "sgn" and term.payload == (3,)
+
+    def test_send_with_and_without_payload(self):
+        assert parse_program("!a") == SendT("a", UNIT_VALUE)
+        assert parse_program("!a 42") == SendT("a", Lit(42))
+
+    def test_recv_with_type(self):
+        assert parse_program("?a") == RecvT("a", UNIT)
+        assert parse_program("?a : int") == RecvT("a", INT)
+
+
+class TestCompositions:
+    def test_sequencing(self):
+        term = parse_program("@a ; @b ; @c")
+        assert term == seq_terms(parse_program("@a"),
+                                 parse_program("@b"),
+                                 parse_program("@c"))
+
+    def test_application_left_assoc(self):
+        term = parse_program("f x y")
+        assert term == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_application_binds_tighter_than_seq(self):
+        term = parse_program("f x ; g y")
+        assert isinstance(term, Let)  # seq sugar
+
+    def test_let(self):
+        term = parse_program("let x = 1 in x")
+        assert term == Let("x", Lit(1), Var("x"))
+
+    def test_if(self):
+        term = parse_program("if true then !a else !b")
+        assert isinstance(term, If)
+
+    def test_fn(self):
+        term = parse_program("fn (x: int) -> x")
+        assert term == Lam("x", INT, Var("x"))
+
+    def test_fn_with_arrow_type(self):
+        term = parse_program("fn (f: int -> bool) -> f 1")
+        assert term.annotation == TFun(INT, EPSILON, BOOL)
+
+    def test_fun_is_fix_plus_let(self):
+        term = parse_program(
+            "fun loop(u: unit): unit = "
+            "  offer { go -> loop () | stop -> () } "
+            "in loop ()")
+        assert isinstance(term, Let)
+        assert isinstance(term.bound, Fix)
+        assert term.bound.fun == "loop"
+
+    def test_offer(self):
+        term = parse_program("offer { a -> !x | b -> () }")
+        assert isinstance(term, Offer)
+        assert [channel for channel, _ in term.branches] == ["a", "b"]
+
+    def test_open_and_frame(self):
+        term = parse_program("open r with phi { !a }", policies=ENV)
+        assert isinstance(term, OpenSession)
+        assert term.policy == PHI
+        framed = parse_program("frame phi { @e }", policies=ENV)
+        assert isinstance(framed, Within)
+
+    def test_keywords_usable_as_channels(self):
+        term = parse_program("!let ; ?then")
+        assert isinstance(term, Let)  # the seq sugar
+
+
+class TestErrors:
+    def test_unknown_policy(self):
+        with pytest.raises(ParseError, match="unknown policy"):
+            parse_program("open r with ghost { () }")
+
+    def test_missing_in(self):
+        with pytest.raises(ParseError, match="'in'"):
+            parse_program("let x = 1 x")
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError, match="expected a type"):
+            parse_program("fn (x: banana) -> x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="EOF"):
+            parse_program("() }")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+
+class TestEndToEnd:
+    def test_parsed_program_infers(self):
+        program = parse_program("""
+            let ping = fn (u: unit) -> (@tick ; !ack) in
+            ping () ; ping ()
+        """)
+        judgement = infer(program)
+        assert judgement.type == UNIT
+
+    def test_paper_client_from_source(self):
+        from repro.contracts.lts import bisimilar, build_lts
+        from repro.core.semantics import step
+        from repro.paper import figure2
+        program = parse_program("""
+            open 1 with phi1 {
+                !Req ;
+                offer { CoBo -> !Pay | NoAv -> () }
+            }
+        """, policies={"phi1": figure2.policy_c1()})
+        effect = extract(program)
+        assert bisimilar(build_lts(effect, step),
+                         build_lts(figure2.client_1(), step))
+
+    def test_recursive_server_from_source(self):
+        from repro.core.syntax import Mu
+        program = parse_program("""
+            fun serve(u: unit): unit =
+                offer { go -> @tick ; !ack ; serve ()
+                      | stop -> () }
+            in serve ()
+        """)
+        judgement = infer(program)
+        assert isinstance(judgement.effect, Mu)

@@ -1,0 +1,39 @@
+"""Tests for the λ-calculus type language."""
+
+import pytest
+
+from repro.core.syntax import EPSILON, send
+from repro.lam.types import (BOOL, INT, STR, TFun, TUnit, UNIT,
+                             type_of_literal)
+
+
+class TestBaseTypes:
+    def test_singletons_compare_equal(self):
+        assert TUnit() == UNIT
+        assert BOOL != INT != STR
+
+    def test_literal_typing(self):
+        assert type_of_literal(None) == UNIT
+        assert type_of_literal(True) == BOOL
+        assert type_of_literal(3) == INT
+        assert type_of_literal("x") == STR
+
+    def test_bool_is_not_int(self):
+        # bool ⊂ int in Python; the type system keeps them apart.
+        assert type_of_literal(True) == BOOL
+        assert type_of_literal(1) == INT
+
+    def test_unknown_literal_rejected(self):
+        with pytest.raises(TypeError):
+            type_of_literal(object())
+
+
+class TestArrows:
+    def test_structural_equality_includes_latent_effect(self):
+        pure = TFun(UNIT, EPSILON, UNIT)
+        effectful = TFun(UNIT, send("a"), UNIT)
+        assert pure != effectful
+        assert pure == TFun(UNIT, EPSILON, UNIT)
+
+    def test_str_shows_latent_effect(self):
+        assert "!a" in str(TFun(UNIT, send("a"), BOOL))

@@ -1,0 +1,72 @@
+"""Tests for the surface-syntax lexer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+class TestTokens:
+    def test_empty_source(self):
+        assert kinds("") == ["EOF"]
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("mu open with frame eps foo") == [
+            "MU", "OPEN", "WITH", "FRAME", "EPS", "IDENT", "EOF"]
+
+    def test_symbols(self):
+        assert kinds("@ ! ? . ; , ( ) { } +") == [
+            "@", "!", "?", ".", ";", ",", "(", ")", "{", "}", "+", "EOF"]
+
+    def test_plus_plus_is_one_token(self):
+        assert kinds("++") == ["++", "EOF"]
+        assert kinds("+ +") == ["+", "+", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 4.5 -3")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("INT", "42"), ("FLOAT", "4.5"), ("INT", "-3")]
+
+    def test_malformed_number_rejected(self):
+        with pytest.raises(ParseError, match="malformed"):
+            tokenize("1.2.3")
+
+    def test_strings(self):
+        (token, _) = tokenize('"hello world"')
+        assert token == Token("STRING", "hello world", 1, 1)
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize('"oops')
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize('"oops\nnext"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("€")
+
+
+class TestCommentsAndLayout:
+    def test_comments_ignored(self):
+        assert kinds("foo # a comment\nbar") == ["IDENT", "IDENT", "EOF"]
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_position_after_string(self):
+        tokens = tokenize('"ab" x')
+        assert tokens[1].column == 6
+
+    def test_error_position_is_reported(self):
+        try:
+            tokenize("ok\n   $")
+        except ParseError as error:
+            assert (error.line, error.column) == (2, 4)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

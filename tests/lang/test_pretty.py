@@ -1,0 +1,96 @@
+"""Tests for the pretty printer, including parse∘pretty round trips."""
+
+import pytest
+
+from repro.core.syntax import (EPSILON, ClosePending, FrameClosePending,
+                               Framing, Var, event, external, internal, mu,
+                               receive, request, send, seq)
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.paper import figure2
+from repro.policies.library import forbid
+
+PHI = forbid("x")
+NAMES = {PHI: "phi"}
+
+
+class TestRendering:
+    def test_atoms(self):
+        assert pretty(EPSILON) == "eps"
+        assert pretty(Var("h")) == "h"
+        assert pretty(event("e")) == "@e"
+        assert pretty(event("sgn", 1, "two words")) == '@sgn(1, "two words")'
+
+    def test_prefixes(self):
+        assert pretty(send("a")) == "!a"
+        assert pretty(receive("a", event("e"))) == "?a . @e"
+
+    def test_sequences_flatten(self):
+        assert pretty(seq(event("a"), event("b"), event("c"))) == \
+            "@a ; @b ; @c"
+
+    def test_choices(self):
+        assert pretty(external(("a", EPSILON), ("b", event("x")))) == \
+            "(?a + ?b . @x)"
+        assert pretty(internal(("a", EPSILON), ("b", EPSILON))) == \
+            "(!a ++ !b)"
+
+    def test_seq_continuation_is_braced(self):
+        term = receive("a", seq(event("x"), event("y")))
+        assert pretty(term) == "?a . { @x ; @y }"
+
+    def test_mu(self):
+        term = mu("h", receive("ping", Var("h")))
+        assert pretty(term) == "mu h { ?ping . h }"
+
+    def test_request_and_frame_with_names(self):
+        term = request("r", PHI, Framing(PHI, event("e")))
+        assert pretty(term, NAMES) == \
+            "open r with phi { frame phi { @e } }"
+
+    def test_request_without_policy(self):
+        assert pretty(request("r", None, send("a"))) == "open r { !a }"
+
+    def test_policy_without_name_falls_back_to_str(self):
+        assert "forbid_x" in pretty(Framing(PHI, EPSILON))
+
+    def test_runtime_residuals_render_distinctively(self):
+        assert "close" in pretty(ClosePending("r", None))
+        assert "]" in pretty(FrameClosePending(PHI))
+
+
+class TestRoundTrip:
+    SOURCES = [
+        "eps",
+        "@e",
+        "@sgn(1, 4.5, word)",
+        "!a",
+        "?a . @e",
+        "(?a + ?b . @x)",
+        "(!a ++ !b)",
+        "@a ; @b ; @c",
+        "mu h { ?ping . !pong . h }",
+        "open r with phi { !Req . (?ok + ?no) }",
+        "frame phi { @e ; !out }",
+        "?a . { @x ; @y }",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_parse_pretty_parse_is_identity(self, source):
+        env = {"phi": PHI}
+        term = parse(source, policies=env)
+        rendered = pretty(term, NAMES)
+        assert parse(rendered, policies=env) == term
+
+    def test_paper_terms_round_trip(self):
+        env = {"phi1": figure2.policy_c1()}
+        names = {figure2.policy_c1(): "phi1"}
+        for factory in (figure2.broker, figure2.hotel_1, figure2.hotel_2):
+            term = factory()
+            assert parse(pretty(term, names), policies=env) == term
+
+    def test_client_round_trips_with_policy_name(self):
+        env = {"phi1": figure2.policy_c1()}
+        names = {figure2.policy_c1(): "phi1"}
+        term = figure2.client_1()
+        assert parse(pretty(term, names), policies=env) == term

@@ -1,0 +1,90 @@
+"""Tests for configurations, session trees and the Φ function."""
+
+from repro.core.actions import FrameClose
+from repro.core.syntax import (EPSILON, FrameClosePending, event, seq, send)
+from repro.core.validity import History
+from repro.network.config import (Component, Configuration, Leaf,
+                                  SessionNode, is_successfully_terminated,
+                                  leaves, locations, pending_frame_closes,
+                                  session_depth)
+from repro.policies.library import forbid
+
+PHI = forbid("a")
+PSI = forbid("b")
+
+
+class TestTrees:
+    def test_leaf_basics(self):
+        leaf = Leaf("loc", EPSILON)
+        assert list(leaves(leaf)) == [leaf]
+        assert locations(leaf) == ("loc",)
+        assert session_depth(leaf) == 0
+
+    def test_nested_session_shape(self):
+        tree = SessionNode(Leaf("c", EPSILON),
+                           SessionNode(Leaf("br", EPSILON),
+                                       Leaf("s3", EPSILON)))
+        assert locations(tree) == ("c", "br", "s3")
+        assert session_depth(tree) == 2
+
+    def test_termination_requires_bare_epsilon_leaf(self):
+        assert is_successfully_terminated(Leaf("x", EPSILON))
+        assert not is_successfully_terminated(Leaf("x", send("a")))
+        assert not is_successfully_terminated(
+            SessionNode(Leaf("x", EPSILON), Leaf("y", EPSILON)))
+
+
+class TestPhi:
+    """Φ collects the pending Mφ of a discarded service (rule Close)."""
+
+    def test_phi_of_plain_terms_is_empty(self):
+        assert pending_frame_closes(EPSILON) == ()
+        assert pending_frame_closes(send("a")) == ()
+        assert pending_frame_closes(event("e")) == ()
+
+    def test_phi_of_single_pending_close(self):
+        assert pending_frame_closes(FrameClosePending(PHI)) == \
+            (FrameClose(PHI),)
+
+    def test_phi_walks_sequences_in_order(self):
+        term = seq(event("e"), FrameClosePending(PHI),
+                   send("a"), FrameClosePending(PSI))
+        assert pending_frame_closes(term) == (FrameClose(PHI),
+                                              FrameClose(PSI))
+
+    def test_phi_ignores_unentered_framings(self):
+        from repro.core.syntax import Framing
+        # φ[H] has not been entered yet: nothing is pending.
+        assert pending_frame_closes(Framing(PHI, event("e"))) == ()
+
+
+class TestComponentsAndConfigurations:
+    def test_client_constructor(self):
+        component = Component.client("loc", send("a"))
+        assert component.history == History()
+        assert component.tree == Leaf("loc", send("a"))
+        assert not component.is_terminated()
+
+    def test_configuration_replace_is_functional(self):
+        config = Configuration.of(Component.client("a", send("x")),
+                                  Component.client("b", send("y")))
+        done = Component.client("a", EPSILON)
+        updated = config.replace(0, done)
+        assert updated[0].is_terminated()
+        assert not config[0].is_terminated()
+        assert updated[1] == config[1]
+
+    def test_configuration_termination(self):
+        config = Configuration.of(Component.client("a", EPSILON),
+                                  Component.client("b", EPSILON))
+        assert config.is_terminated()
+
+    def test_configurations_are_hashable_states(self):
+        config = Configuration.of(Component.client("a", send("x")))
+        again = Configuration.of(Component.client("a", send("x")))
+        assert len({config, again}) == 1
+
+    def test_str_rendering(self):
+        config = Configuration.of(Component.client("a", EPSILON))
+        assert "a:" in str(config)
+        assert "ε" in str(config)

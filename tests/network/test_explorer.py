@@ -1,0 +1,128 @@
+"""Tests for the exhaustive explorer — the ground-truth plan oracle."""
+
+from repro.core.plans import Plan
+from repro.core.syntax import (event, external, internal, receive, request,
+                               send, seq)
+from repro.network.config import Component, Configuration
+from repro.network.explorer import (explore, plan_is_valid_exhaustive)
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.policies.library import forbid
+
+
+def single_client(client, location="me"):
+    return Configuration.of(Component.client(location, client))
+
+
+class TestHappyPath:
+    def test_trivial_network(self):
+        result = explore(single_client(event("e")), Plan.empty(),
+                         Repository())
+        assert result.valid
+        assert result.terminal_success == 1
+        assert result.explored == 2  # before and after the event
+
+    def test_simple_session(self):
+        client = request("r", None, seq(send("a"), receive("b")))
+        repo = Repository({"srv": seq(receive("a"), send("b"))})
+        result = explore(single_client(client), Plan.single("r", "srv"),
+                         repo)
+        assert result.valid
+        assert result.terminal_success == 1
+
+
+class TestSecurityFlaws:
+    def test_reachable_violation_detected(self):
+        phi = forbid("boom")
+        client = request("r", phi, seq(send("go"), receive("done")))
+        repo = Repository({"srv": receive("go", seq(event("boom"),
+                                                    send("done")))})
+        result = explore(single_client(client), Plan.single("r", "srv"),
+                         repo)
+        assert not result.secure
+        assert not result.valid
+        # The offending transition appends the boom event.
+        _, transition = result.violations[0]
+        assert any(getattr(label, "name", None) == "boom"
+                   for label in transition.appends)
+
+    def test_stop_at_first_flaw_short_circuits(self):
+        phi = forbid("boom")
+        client = request("r", phi, seq(send("go"), receive("done")))
+        repo = Repository({"srv": receive("go", seq(event("boom"),
+                                                    send("done")))})
+        full = explore(single_client(client), Plan.single("r", "srv"), repo)
+        quick = explore(single_client(client), Plan.single("r", "srv"),
+                        repo, stop_at_first_flaw=True)
+        assert quick.explored <= full.explored
+
+
+class TestComplianceFlaws:
+    def test_unhandled_internal_choice_detected(self):
+        client = request("r", None,
+                         seq(send("q"), external(("ok", seq()))))
+        repo = Repository({"srv": receive("q", internal(("ok", seq()),
+                                                        ("err", seq())))})
+        result = explore(single_client(client), Plan.single("r", "srv"),
+                         repo)
+        assert result.secure
+        assert not result.unfailing
+        kinds = {kind for _, _, kind in result.stuck}
+        assert kinds == {"communication"}
+
+    def test_angelic_exploration_misses_it(self):
+        client = request("r", None,
+                         seq(send("q"), external(("ok", seq()))))
+        repo = Repository({"srv": receive("q", internal(("ok", seq()),
+                                                        ("err", seq())))})
+        result = explore(single_client(client), Plan.single("r", "srv"),
+                         repo, commit_outputs=False)
+        assert result.valid  # exactly why commit_outputs defaults to True
+
+    def test_unserved_request_detected(self):
+        client = request("r", None, send("a"))
+        result = explore(single_client(client), Plan.empty(), Repository())
+        assert not result.unfailing
+
+
+class TestBounds:
+    def test_truncation_reported(self):
+        # A two-client network with enough interleavings to overflow a
+        # tiny bound.
+        config = Configuration.of(
+            Component.client("a", seq(event("e1"), event("e2"),
+                                      event("e3"))),
+            Component.client("b", seq(event("f1"), event("f2"),
+                                      event("f3"))))
+        result = explore(config, [Plan.empty(), Plan.empty()],
+                         Repository(), max_configurations=4)
+        assert not result.complete
+        assert not result.valid
+
+    def test_summary_mentions_status(self):
+        result = explore(single_client(event("e")), Plan.empty(),
+                         Repository())
+        assert "VALID" in result.summary()
+
+
+class TestPaperOracle:
+    def test_pi1_is_valid(self, repo):
+        config = single_client(figure2.client_1(), figure2.LOC_CLIENT_1)
+        assert plan_is_valid_exhaustive(config, figure2.plan_pi1(), repo)
+
+    def test_pi2_variants(self, repo):
+        config = single_client(figure2.client_2(), figure2.LOC_CLIENT_2)
+        assert not plan_is_valid_exhaustive(
+            config, figure2.plan_pi2_bad_compliance(), repo)
+        assert not plan_is_valid_exhaustive(
+            config, figure2.plan_pi2_bad_security(), repo)
+        assert plan_is_valid_exhaustive(
+            config, figure2.plan_pi2_valid(), repo)
+
+    def test_two_client_network_under_valid_vector(self, repo):
+        from repro.core.plans import PlanVector
+        config = figure2.initial_configuration()
+        plans = PlanVector.of(figure2.plan_pi1(), figure2.plan_pi2_valid())
+        result = explore(config, plans, repo)
+        assert result.valid
+        assert result.terminal_success >= 1

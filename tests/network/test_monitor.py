@@ -1,0 +1,67 @@
+"""Tests for the run-time reference monitor."""
+
+import pytest
+
+from repro.core.actions import Event, FrameClose, FrameOpen
+from repro.core.errors import SecurityViolationError
+from repro.network.monitor import ReferenceMonitor
+from repro.policies.library import forbid, never_after
+
+
+class TestReferenceMonitor:
+    def test_valid_stream_passes(self):
+        phi = never_after("read", "write")
+        monitor = ReferenceMonitor()
+        monitor.observe_all([FrameOpen(phi), Event("read"),
+                             FrameClose(phi), Event("write")])
+        assert len(monitor.history) == 4
+
+    def test_abort_on_violation(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        monitor.observe(FrameOpen(phi))
+        with pytest.raises(SecurityViolationError) as excinfo:
+            monitor.observe(Event("boom"))
+        assert excinfo.value.event == Event("boom")
+
+    def test_history_not_extended_on_abort(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        monitor.observe(FrameOpen(phi))
+        with pytest.raises(SecurityViolationError):
+            monitor.observe(Event("boom"))
+        assert tuple(monitor.history) == (FrameOpen(phi),)
+
+    def test_abort_on_history_dependent_framing(self):
+        phi = never_after("read", "write")
+        monitor = ReferenceMonitor()
+        monitor.observe_all([Event("read"), Event("write")])
+        with pytest.raises(SecurityViolationError):
+            monitor.observe(FrameOpen(phi))
+
+    def test_statistics_counters(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        monitor.observe_all([FrameOpen(phi), Event("ok"),
+                             FrameClose(phi)])
+        stats = monitor.statistics
+        assert stats.labels_observed == 3
+        assert stats.events_checked == 1
+        assert stats.framings_opened == 1
+        assert stats.aborts == 0
+
+    def test_abort_counted(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        monitor.observe(FrameOpen(phi))
+        with pytest.raises(SecurityViolationError):
+            monitor.observe(Event("boom"))
+        assert monitor.statistics.aborts == 1
+
+    def test_observe_all_stops_at_first_violation(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        with pytest.raises(SecurityViolationError):
+            monitor.observe_all([FrameOpen(phi), Event("boom"),
+                                 Event("after")])
+        assert monitor.statistics.labels_observed == 2

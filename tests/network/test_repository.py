@@ -1,0 +1,44 @@
+"""Tests for the service repository."""
+
+import pytest
+
+from repro.core.errors import WellFormednessError
+from repro.core.syntax import Mu, Var, receive, send
+from repro.network.repository import Repository
+
+
+class TestRepository:
+    def test_lookup(self):
+        repo = Repository({"a": send("x")})
+        assert repo["a"] == send("x")
+        assert repo.get("a") == send("x")
+        assert repo.get("missing") is None
+        assert "a" in repo and "missing" not in repo
+
+    def test_publish_is_functional(self):
+        base = Repository()
+        extended = base.publish("a", send("x"))
+        assert len(base) == 0 and len(extended) == 1
+
+    def test_publish_replaces(self):
+        repo = Repository({"a": send("x")}).publish("a", receive("y"))
+        assert repo["a"] == receive("y")
+
+    def test_locations_preserve_insertion_order(self):
+        repo = Repository({"b": send("x")}).publish("a", send("y"))
+        assert repo.locations() == ("b", "a")
+
+    def test_items(self):
+        repo = Repository({"a": send("x")})
+        assert dict(repo.items()) == {"a": send("x")}
+
+    def test_validates_services_on_construction(self):
+        with pytest.raises(WellFormednessError):
+            Repository({"bad": Var("h")})
+
+    def test_validates_services_on_publish(self):
+        with pytest.raises(WellFormednessError):
+            Repository().publish("bad", Mu("h", Var("h")))
+
+    def test_str_lists_locations(self):
+        assert "a" in str(Repository({"a": send("x")}))

@@ -1,0 +1,123 @@
+"""Tests for the simulator, including the Figure 3 replay."""
+
+import pytest
+
+from repro.core.actions import Event, FrameClose, FrameOpen
+from repro.core.errors import ReproError, SecurityViolationError
+from repro.core.plans import Plan
+from repro.core.syntax import Framing, event, receive, request, send, seq
+from repro.network.config import Component, Configuration
+from repro.network.repository import Repository
+from repro.network.simulator import Simulator
+from repro.paper import figure2, figure3
+from repro.policies.library import forbid
+
+
+class TestFigure3Replay:
+    def test_all_thirteen_steps_fire(self):
+        simulator, fired = figure3.replay()
+        assert len(fired) == 13
+
+    def test_rule_sequence_matches_paper(self):
+        _, fired = figure3.replay()
+        assert [t.rule for t in fired] == [
+            "open", "synch", "open", "open", "access", "access", "access",
+            "synch", "synch", "close", "synch", "close", "synch"]
+
+    def test_component1_history_matches_paper(self):
+        simulator, _ = figure3.replay()
+        phi1 = figure2.policy_c1()
+        assert tuple(simulator.histories()[0]) == (
+            FrameOpen(phi1), Event("sgn", (3,)), Event("p", (90,)),
+            Event("ta", (100,)), FrameClose(phi1))
+
+    def test_component2_history_after_step13(self):
+        simulator, _ = figure3.replay()
+        phi2 = figure2.policy_c2()
+        assert tuple(simulator.histories()[1]) == (FrameOpen(phi2),)
+
+    def test_histories_stay_valid_throughout(self):
+        simulator, _ = figure3.replay()
+        assert simulator.all_histories_valid()
+        assert simulator.violations() == []
+
+    def test_replay_also_works_unmonitored(self):
+        simulator, fired = figure3.replay(monitored=False)
+        assert len(fired) == 13
+        assert simulator.all_histories_valid()
+
+    def test_network_can_run_to_completion_after_fragment(self):
+        simulator, _ = figure3.replay()
+        simulator.run(max_steps=200)
+        assert simulator.is_terminated()
+        for history in simulator.histories():
+            assert history.is_balanced()
+
+
+class TestScheduling:
+    def make(self, monitored=True, seed=0):
+        client = request("r", None, seq(send("a"), receive("b")))
+        repo = Repository({"srv": seq(receive("a"), send("b"))})
+        config = Configuration.of(Component.client("me", client))
+        return Simulator(config, Plan.single("r", "srv"), repo,
+                         monitored=monitored, seed=seed)
+
+    def test_run_to_termination(self):
+        simulator = self.make()
+        log = simulator.run()
+        assert simulator.is_terminated()
+        assert log.rules() == ("open", "synch", "synch", "close")
+
+    def test_step_random_returns_none_when_done(self):
+        simulator = self.make()
+        simulator.run()
+        assert simulator.step_random() is None
+
+    def test_fire_matching_raises_when_unavailable(self):
+        simulator = self.make()
+        with pytest.raises(ReproError, match="no available transition"):
+            simulator.fire_matching(lambda t: t.rule == "close")
+
+    def test_custom_scheduler(self):
+        simulator = self.make()
+        chosen = []
+
+        def scheduler(options):
+            chosen.append(len(options))
+            return options[0]
+
+        simulator.run(scheduler=scheduler)
+        assert chosen  # the scheduler was consulted
+
+    def test_seed_reproducibility(self):
+        first = self.make(seed=42)
+        second = self.make(seed=42)
+        assert first.run().rules() == second.run().rules()
+
+
+class TestMonitoredAbort:
+    def make_violating(self, monitored):
+        # The server *must* fire the forbidden event before answering, so
+        # every schedule hits the violation (or the monitor's block).
+        phi = forbid("boom")
+        client = request("r", phi, seq(send("go"), receive("done")))
+        repo = Repository({"srv": receive("go", seq(event("boom"),
+                                                    send("done")))})
+        config = Configuration.of(Component.client("me", client))
+        return Simulator(config, Plan.single("r", "srv"), repo,
+                         monitored=monitored, seed=1)
+
+    def test_monitored_run_aborts(self):
+        simulator = self.make_violating(monitored=True)
+        with pytest.raises(SecurityViolationError):
+            simulator.run()
+
+    def test_unmonitored_run_records_violation(self):
+        simulator = self.make_violating(monitored=False)
+        simulator.run()
+        assert not simulator.all_histories_valid()
+        violations = simulator.violations()
+        assert len(violations) == 1
+        component, prefix = violations[0]
+        assert component == 0
+        assert prefix[-1] == Event("boom")

@@ -1,0 +1,42 @@
+"""Tests for the Figure-3-style trace renderer."""
+
+from repro.network.trace_render import (describe_transition, render_run,
+                                        render_state, render_trace)
+from repro.paper import figure3
+
+
+class TestRendering:
+    def test_figure3_trace_lines(self):
+        simulator, fired = figure3.replay()
+        text = render_trace(simulator.log)
+        lines = text.splitlines()
+        assert len(lines) == 13
+        assert lines[0].startswith("step   1:")
+        assert "open<1," in lines[0]
+        assert "τ(Req)" in lines[1]
+        assert "@sgn(3)" in lines[4]
+        assert "close<3,0>" in lines[9]
+
+    def test_component_annotations_optional(self):
+        simulator, _ = figure3.replay()
+        with_components = render_trace(simulator.log)
+        without = render_trace(simulator.log, show_components=False)
+        assert "[component" in with_components
+        assert "[component" not in without
+
+    def test_describe_tau_includes_channel(self):
+        simulator, fired = figure3.replay()
+        tau_steps = [t for t in fired if t.rule == "synch"]
+        assert describe_transition(tau_steps[0]) == "τ(Req)"
+
+    def test_render_state_shows_histories(self):
+        simulator, _ = figure3.replay()
+        state = render_state(simulator)
+        assert "[0]" in state and "[1]" in state
+        assert "@sgn(3)" in state
+
+    def test_render_run_combines_both(self):
+        simulator, _ = figure3.replay()
+        text = render_run(simulator)
+        assert "final configuration:" in text
+        assert "step   1:" in text

@@ -1,0 +1,101 @@
+"""Unit tests for the executable paper encodings themselves."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.syntax import channels_of, events_of, policies_of
+from repro.core.wellformed import check_well_formed
+from repro.paper import figure2, figure3
+
+
+class TestFigure2Terms:
+    def test_policies_are_the_two_instantiations(self):
+        phi1, phi2 = figure2.policy_c1(), figure2.policy_c2()
+        assert phi1 != phi2
+        assert phi1.name == phi2.name == "phi"
+        assert phi1.environment() == {"bl": frozenset({1}), "p": 45,
+                                      "t": 100}
+        assert phi2.environment() == {"bl": frozenset({1, 3}), "p": 40,
+                                      "t": 70}
+
+    def test_clients_differ_only_in_policy_and_request(self):
+        c1, c2 = figure2.client_1(), figure2.client_2()
+        assert c1.request == "1" and c2.request == "2"
+        assert c1.policy == figure2.policy_c1()
+        assert c2.policy == figure2.policy_c2()
+        assert c1.body == c2.body
+
+    def test_client_channels(self):
+        assert channels_of(figure2.client_1()) == {"Req", "CoBo", "Pay",
+                                                   "NoAv"}
+
+    def test_broker_channels(self):
+        assert channels_of(figure2.broker()) == {
+            "Req", "IdC", "Bok", "UnA", "CoBo", "Pay", "NoAv"}
+
+    def test_hotel_events(self):
+        names = {e.name for e in events_of(figure2.hotel_1())}
+        assert names == {"sgn", "p", "ta"}
+        params = {e.params for e in events_of(figure2.hotel_3())}
+        assert (3,) in params and (90,) in params and (100,) in params
+
+    def test_hotel_2_has_the_del_branch(self):
+        assert "Del" in channels_of(figure2.hotel_2())
+        assert "Del" not in channels_of(figure2.hotel_1())
+
+    def test_repository_contents(self):
+        repo = figure2.repository()
+        assert set(repo.locations()) == {"lbr", "ls1", "ls2", "ls3",
+                                         "ls4"}
+        for _, term in repo.items():
+            check_well_formed(term)
+
+    def test_services_carry_no_policies(self):
+        for factory in (figure2.broker, figure2.hotel_1, figure2.hotel_2,
+                        figure2.hotel_3, figure2.hotel_4):
+            assert policies_of(factory()) == frozenset()
+
+    def test_plans(self):
+        assert figure2.plan_pi1()["1"] == figure2.LOC_BROKER
+        assert figure2.plan_pi1()["3"] == "ls3"
+        assert figure2.plan_pi2_bad_compliance()["3"] == "ls2"
+        assert figure2.plan_pi2_bad_security()["3"] == "ls3"
+        assert figure2.plan_pi2_valid()["3"] == "ls4"
+
+    def test_initial_configuration(self):
+        config = figure2.initial_configuration()
+        assert len(config) == 2
+        assert config[0].tree.location == figure2.LOC_CLIENT_1
+        assert config[1].tree.location == figure2.LOC_CLIENT_2
+        assert not config[0].history and not config[1].history
+
+
+class TestFigure3Script:
+    def test_script_has_thirteen_steps(self):
+        assert len(figure3.SCRIPT) == 13
+
+    def test_descriptions_are_informative(self):
+        for description, _ in figure3.SCRIPT:
+            assert len(description) > 10
+
+    def test_plan_vector_routes_both_clients_through_broker(self):
+        vector = figure3.plan_vector()
+        assert vector[0]["1"] == figure2.LOC_BROKER
+        assert vector[1]["2"] == figure2.LOC_BROKER
+
+    def test_replay_with_alternative_hotel_for_c2(self):
+        # The fragment stops before C2's hotel session, so any binding
+        # replays fine — including the ones the paper rejects.
+        simulator, fired = figure3.replay(pi2_hotel="ls2")
+        assert len(fired) == 13
+
+    def test_replay_fails_loudly_with_unserved_plan(self):
+        # Without a binding for request 1, step 1 cannot fire.
+        from repro.core.plans import Plan, PlanVector
+        from repro.network.simulator import Simulator
+        simulator = Simulator(figure2.initial_configuration(),
+                              PlanVector.of(Plan.empty(), Plan.empty()),
+                              figure2.repository())
+        predicate = figure3.SCRIPT[0][1]
+        with pytest.raises(ReproError):
+            simulator.fire_matching(predicate)

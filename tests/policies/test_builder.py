@@ -1,0 +1,68 @@
+"""Tests for the fluent automaton builder."""
+
+import pytest
+
+from repro.core.actions import Event
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.builder import AutomatonBuilder
+from repro.policies.guards import gt
+
+
+class TestBuilder:
+    def test_minimal_automaton(self):
+        automaton = (AutomatonBuilder("m")
+                     .state("s", initial=True)
+                     .build())
+        assert automaton.initial == "s"
+        assert automaton.offending == frozenset()
+
+    def test_edges_declare_states_implicitly(self):
+        automaton = (AutomatonBuilder("m")
+                     .state("a", initial=True)
+                     .edge("a", "b", "go")
+                     .edge("b", "c", "go")
+                     .build())
+        assert automaton.states == {"a", "b", "c"}
+
+    def test_missing_initial_state_rejected(self):
+        with pytest.raises(PolicyDefinitionError, match="no initial"):
+            AutomatonBuilder("m").state("a").build()
+
+    def test_two_initial_states_rejected(self):
+        builder = AutomatonBuilder("m").state("a", initial=True)
+        with pytest.raises(PolicyDefinitionError, match="two initial"):
+            builder.state("b", initial=True)
+
+    def test_redeclaring_same_initial_is_fine(self):
+        automaton = (AutomatonBuilder("m")
+                     .state("a", initial=True)
+                     .state("a", initial=True)
+                     .build())
+        assert automaton.initial == "a"
+
+    def test_parameters_and_guards_flow_through(self):
+        automaton = (AutomatonBuilder("m", parameters=("cap",))
+                     .state("a", initial=True)
+                     .state("bad", offending=True)
+                     .edge("a", "bad", "use", binders=("n",),
+                           guard=gt("n", "cap"))
+                     .build())
+        policy = automaton.instantiate(cap=10)
+        assert policy.accepts([Event("use", (11,))])
+        assert policy.respects([Event("use", (10,))])
+
+    def test_variables_flow_through(self):
+        automaton = (AutomatonBuilder("m", variables=("x",))
+                     .state("a", initial=True)
+                     .state("bad", offending=True)
+                     .edge("a", "b", "lock", binders=("x",))
+                     .edge("b", "bad", "lock", binders=("x",))
+                     .build())
+        policy = automaton.instantiate()
+        assert policy.accepts([Event("lock", (1,)), Event("lock", (1,))])
+        assert policy.respects([Event("lock", (1,)), Event("lock", (2,))])
+
+    def test_builder_is_chainable(self):
+        builder = AutomatonBuilder("m")
+        assert builder.state("a", initial=True) is builder
+        assert builder.edge("a", "a", "tick") is builder

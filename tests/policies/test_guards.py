@@ -1,0 +1,92 @@
+"""Tests for the declarative guard expression language."""
+
+import pytest
+
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.guards import (TRUE, Compare, Const, Name, TrueGuard,
+                                   eq, ge, gt, le, lt, member, ne,
+                                   not_member)
+
+
+class TestTerms:
+    def test_const_ignores_environment(self):
+        assert Const(5).value({"x": 1}) == 5
+
+    def test_name_reads_environment(self):
+        assert Name("x").value({"x": 42}) == 42
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(PolicyDefinitionError, match="unbound"):
+            Name("missing").value({})
+
+    def test_names_collection(self):
+        guard = le("y", "p")
+        assert guard.names() == {"y", "p"}
+        assert le("y", Const(3)).names() == {"y"}
+
+
+class TestComparisons:
+    ENV = {"x": 3, "y": 5, "bl": frozenset({1, 2})}
+
+    @pytest.mark.parametrize("guard,expected", [
+        (eq("x", 3), True),
+        (eq("x", "y"), False),
+        (ne("x", "y"), True),
+        (lt("x", "y"), True),
+        (le("x", 3), True),
+        (gt("y", "x"), True),
+        (ge("x", 4), False),
+        (member(1, "bl"), True),
+        (member(3, "bl"), False),
+        (not_member(3, "bl"), True),
+    ])
+    def test_evaluation(self, guard, expected):
+        assert guard.evaluate(self.ENV) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicyDefinitionError):
+            Compare("~=", Const(1), Const(2))
+
+    def test_string_operands_become_names(self):
+        guard = eq("x", "y")
+        assert isinstance(guard.left, Name)
+        assert isinstance(guard.right, Name)
+
+    def test_non_string_operands_become_constants(self):
+        guard = eq(Const(1), 2)
+        assert isinstance(guard.right, Const)
+
+
+class TestBooleanConnectives:
+    ENV = {"a": 1, "b": 2}
+
+    def test_and(self):
+        guard = eq("a", 1) & eq("b", 2)
+        assert guard.evaluate(self.ENV)
+        assert not (eq("a", 1) & eq("b", 3)).evaluate(self.ENV)
+
+    def test_or(self):
+        assert (eq("a", 9) | eq("b", 2)).evaluate(self.ENV)
+        assert not (eq("a", 9) | eq("b", 9)).evaluate(self.ENV)
+
+    def test_not(self):
+        assert (~eq("a", 9)).evaluate(self.ENV)
+
+    def test_true_guard(self):
+        assert TRUE.evaluate({})
+        assert TRUE.names() == frozenset()
+        assert TrueGuard() == TRUE
+
+    def test_connectives_collect_names(self):
+        guard = (eq("a", 1) & ~eq("b", 2)) | eq("c", 3)
+        assert guard.names() == {"a", "b", "c"}
+
+
+class TestRendering:
+    def test_compare_str(self):
+        assert str(le("y", "p")) == "y <= p"
+        assert "not in" in str(not_member("x", "bl"))
+
+    def test_connective_str(self):
+        text = str(eq("a", 1) & eq("b", 2))
+        assert "and" in text

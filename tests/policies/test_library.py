@@ -1,0 +1,149 @@
+"""Tests for the policy library, including the Figure 1 automaton."""
+
+import pytest
+
+from repro.core.actions import Event
+from repro.policies.library import (at_most, blacklist, chinese_wall,
+                                    forbid, hotel_policy,
+                                    hotel_policy_automaton, never_after,
+                                    require_before)
+
+
+def hotel_trace(identifier, price, rating):
+    return (Event("sgn", (identifier,)), Event("p", (price,)),
+            Event("ta", (rating,)))
+
+
+class TestFigure1Automaton:
+    """The hotel policy φ(bl, p, t) of Figure 1."""
+
+    def test_shape(self):
+        automaton = hotel_policy_automaton()
+        assert automaton.parameters == ("bl", "p", "t")
+        assert automaton.initial == "q1"
+        assert automaton.offending == {"q6"}
+        assert len(automaton.states) == 6
+
+    def test_blacklisted_hotel_violates(self):
+        phi = hotel_policy({1}, 45, 100)
+        assert phi.accepts(hotel_trace(1, 45, 80))
+
+    def test_violation_happens_at_signing(self):
+        phi = hotel_policy({1}, 45, 100)
+        assert phi.first_violation(hotel_trace(1, 45, 80)) == 0
+
+    def test_cheap_hotel_is_fine_whatever_the_rating(self):
+        phi = hotel_policy({9}, 45, 100)
+        assert phi.respects(hotel_trace(2, 45, 0))
+
+    def test_expensive_hotel_needs_good_rating(self):
+        phi = hotel_policy({9}, 45, 100)
+        assert phi.respects(hotel_trace(2, 46, 100))
+        assert phi.accepts(hotel_trace(2, 46, 99))
+
+    def test_thresholds_are_inclusive_exactly_as_figure1(self):
+        # y ≤ p is allowed, y > p moves on; z ≥ t is allowed, z < t bad.
+        phi = hotel_policy(set(), 45, 100)
+        assert phi.respects(hotel_trace(2, 45, 0))      # price at bound
+        assert phi.respects(hotel_trace(2, 46, 100))    # rating at bound
+
+    def test_events_before_signing_self_loop(self):
+        phi = hotel_policy({1}, 45, 100)
+        trace = (Event("noise"),) + hotel_trace(1, 45, 80)
+        assert phi.accepts(trace)
+
+    @pytest.mark.parametrize("identifier,price,rating,respects", [
+        (1, 45, 80, False),   # S1 vs φ1: black-listed
+        (3, 90, 100, True),   # S3 vs φ1: rating saves it
+        (4, 50, 90, False),   # S4 vs φ1: both thresholds busted
+        (2, 70, 100, True),   # S2 vs φ1: fine (its sin is compliance)
+    ])
+    def test_section2_verdicts_for_phi1(self, identifier, price, rating,
+                                        respects):
+        phi1 = hotel_policy({1}, 45, 100)
+        assert phi1.respects(hotel_trace(identifier, price,
+                                         rating)) is respects
+
+    @pytest.mark.parametrize("identifier,price,rating,respects", [
+        (1, 45, 80, False),   # black-listed
+        (3, 90, 100, False),  # black-listed
+        (4, 50, 90, True),
+        (2, 70, 100, True),
+    ])
+    def test_section2_verdicts_for_phi2(self, identifier, price, rating,
+                                        respects):
+        phi2 = hotel_policy({1, 3}, 40, 70)
+        assert phi2.respects(hotel_trace(identifier, price,
+                                         rating)) is respects
+
+
+class TestNeverAfter:
+    def test_order_matters(self):
+        policy = never_after("read", "write")
+        assert policy.accepts([Event("read"), Event("write")])
+        assert policy.respects([Event("write"), Event("read")])
+
+    def test_same_resource_variant(self):
+        policy = never_after("read", "write", same_resource=True)
+        assert policy.accepts([Event("read", (1,)), Event("write", (1,))])
+        assert policy.respects([Event("read", (1,)), Event("write", (2,))])
+
+
+class TestForbid:
+    def test_forbidden_event(self):
+        policy = forbid("rm")
+        assert policy.accepts([Event("rm")])
+        assert policy.respects([Event("ls")])
+
+
+class TestBlacklist:
+    def test_membership(self):
+        policy = blacklist("visit", {"evil.example"})
+        assert policy.accepts([Event("visit", ("evil.example",))])
+        assert policy.respects([Event("visit", ("good.example",))])
+
+
+class TestAtMost:
+    def test_counting(self):
+        policy = at_most("retry", 2)
+        assert policy.respects([Event("retry")] * 2)
+        assert policy.accepts([Event("retry")] * 3)
+
+    def test_zero_bound(self):
+        policy = at_most("retry", 0)
+        assert policy.accepts([Event("retry")])
+        assert policy.respects([])
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            at_most("retry", -1)
+
+    def test_interleaved_events_do_not_count(self):
+        policy = at_most("retry", 1)
+        assert policy.respects([Event("retry"), Event("other")])
+        assert policy.accepts([Event("retry"), Event("other"),
+                               Event("retry")])
+
+
+class TestRequireBefore:
+    def test_action_without_prerequisite(self):
+        policy = require_before("auth", "charge")
+        assert policy.accepts([Event("charge")])
+        assert policy.respects([Event("auth"), Event("charge")])
+
+    def test_prerequisite_unlocks_forever(self):
+        policy = require_before("auth", "charge")
+        assert policy.respects([Event("auth"), Event("charge"),
+                                Event("charge")])
+
+
+class TestChineseWall:
+    def test_single_dataset_fine(self):
+        policy = chinese_wall("access")
+        assert policy.respects([Event("access", ("A",))] * 4)
+
+    def test_crossing_the_wall(self):
+        policy = chinese_wall("access")
+        assert policy.accepts([Event("access", ("A",)),
+                               Event("access", ("A",)),
+                               Event("access", ("B",))])

@@ -1,0 +1,126 @@
+"""Tests for policy/automaton JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.actions import Event
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.guards import (TRUE, And, Const, Name, Not, Or, ge, le,
+                                   member)
+from repro.policies.library import (at_most, chinese_wall, forbid,
+                                    hotel_policy, hotel_policy_automaton,
+                                    never_after)
+from repro.policies.serialize import (automaton_from_dict,
+                                      automaton_to_dict, decode_value,
+                                      dumps, encode_value, guard_from_dict,
+                                      guard_to_dict, loads,
+                                      policy_from_dict, policy_to_dict)
+
+
+class TestGuardRoundTrip:
+    GUARDS = [
+        TRUE,
+        le("y", "p"),
+        member("x", "bl"),
+        ge(Const(3), Name("t")),
+        And(le("a", 1), Or(member("b", "s"), Not(TRUE))),
+    ]
+
+    @pytest.mark.parametrize("guard", GUARDS,
+                             ids=[str(i) for i in range(len(GUARDS))])
+    def test_round_trip(self, guard):
+        assert guard_from_dict(guard_to_dict(guard)) == guard
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicyDefinitionError):
+            guard_from_dict({"kind": "zap"})
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", [
+        1, 4.5, "text", True, None,
+        frozenset({1, 2, 3}),
+        ("a", 1),
+        frozenset({("nested", 1)}),
+    ])
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_encoded_forms_are_json_safe(self):
+        encoded = encode_value(frozenset({1, ("a", 2)}))
+        json.dumps(encoded)  # must not raise
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(PolicyDefinitionError):
+            decode_value({"@mystery": []})
+
+    def test_unserialisable_value_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+
+class TestAutomatonRoundTrip:
+    AUTOMATA = [
+        hotel_policy_automaton(),
+        never_after("read", "write", same_resource=True).automaton,
+        forbid("boom").automaton,
+        at_most("tick", 3).automaton,
+        chinese_wall("access").automaton,
+    ]
+
+    @pytest.mark.parametrize("automaton", AUTOMATA,
+                             ids=[a.name for a in AUTOMATA])
+    def test_round_trip(self, automaton):
+        revived = automaton_from_dict(automaton_to_dict(automaton))
+        assert revived == automaton
+
+    def test_round_trip_preserves_behaviour(self):
+        automaton = hotel_policy_automaton()
+        revived = automaton_from_dict(automaton_to_dict(automaton))
+        policy = revived.instantiate(bl=frozenset({1}), p=45, t=100)
+        assert policy.accepts([Event("sgn", (1,))])
+        assert policy.respects([Event("sgn", (2,))])
+
+    def test_validation_runs_on_load(self):
+        data = automaton_to_dict(forbid("boom").automaton)
+        data["initial"] = "ghost"
+        with pytest.raises(PolicyDefinitionError):
+            automaton_from_dict(data)
+
+
+class TestPolicyRoundTrip:
+    POLICIES = [
+        hotel_policy({1, 3}, 40, 70),
+        never_after("a", "b"),
+        at_most("tick", 2),
+        chinese_wall("access"),
+    ]
+
+    @pytest.mark.parametrize("policy", POLICIES,
+                             ids=[p.name for p in POLICIES])
+    def test_dict_round_trip(self, policy):
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+
+    @pytest.mark.parametrize("policy", POLICIES,
+                             ids=[p.name for p in POLICIES])
+    def test_json_round_trip(self, policy):
+        assert loads(dumps(policy)) == policy
+
+    def test_round_trip_preserves_frozenset_arguments(self):
+        policy = hotel_policy({1, 3}, 40, 70)
+        revived = loads(dumps(policy))
+        assert revived.environment()["bl"] == frozenset({1, 3})
+
+    def test_round_trip_preserves_verdicts(self):
+        policy = hotel_policy({1}, 45, 100)
+        revived = loads(dumps(policy))
+        trace = (Event("sgn", (4,)), Event("p", (50,)),
+                 Event("ta", (90,)))
+        assert policy.accepts(trace) == revived.accepts(trace) is True
+
+    def test_revived_policy_hashes_equal(self):
+        policy = hotel_policy({1}, 45, 100)
+        revived = loads(dumps(policy))
+        assert hash(policy) == hash(revived)
+        assert len({policy, revived}) == 1

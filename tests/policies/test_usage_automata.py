@@ -1,0 +1,223 @@
+"""Tests for usage automata: matching, instantiation, runs, witnesses."""
+
+import pytest
+
+from repro.core.actions import Event
+from repro.core.errors import PolicyDefinitionError
+from repro.policies.builder import AutomatonBuilder
+from repro.policies.guards import le, member, ne, not_member
+from repro.policies.usage_automata import (Edge, EventPattern, PolicyRunner,
+                                           UsageAutomaton, assignments,
+                                           STAR)
+
+
+def simple_automaton(**kwargs):
+    """q0 --@hit--> bad, everything else self-loops."""
+    return UsageAutomaton(
+        name="simple",
+        states=frozenset({"q0", "bad"}),
+        initial="q0",
+        offending=frozenset({"bad"}),
+        edges=(Edge("q0", EventPattern("hit"), "bad"),),
+        **kwargs)
+
+
+class TestDefinitionValidation:
+    def test_unknown_initial_state(self):
+        with pytest.raises(PolicyDefinitionError, match="initial"):
+            UsageAutomaton("x", frozenset({"a"}), "nope", frozenset(), ())
+
+    def test_unknown_offending_state(self):
+        with pytest.raises(PolicyDefinitionError, match="offending"):
+            UsageAutomaton("x", frozenset({"a"}), "a",
+                           frozenset({"ghost"}), ())
+
+    def test_edge_with_unknown_state(self):
+        with pytest.raises(PolicyDefinitionError, match="unknown states"):
+            UsageAutomaton("x", frozenset({"a"}), "a", frozenset(),
+                           (Edge("a", EventPattern("e"), "ghost"),))
+
+    def test_guard_with_unbound_name(self):
+        with pytest.raises(PolicyDefinitionError, match="unbound"):
+            UsageAutomaton(
+                "x", frozenset({"a", "b"}), "a", frozenset(),
+                (Edge("a", EventPattern("e", ("v",), le("w", 3)), "b"),))
+
+    def test_parameter_variable_name_clash(self):
+        with pytest.raises(PolicyDefinitionError, match="distinct"):
+            UsageAutomaton("x", frozenset({"a"}), "a", frozenset(), (),
+                           parameters=("n",), variables=("n",))
+
+
+class TestInstantiation:
+    def test_missing_argument(self):
+        automaton = simple_automaton(parameters=("p",))
+        with pytest.raises(PolicyDefinitionError, match="missing"):
+            automaton.instantiate()
+
+    def test_unexpected_argument(self):
+        automaton = simple_automaton()
+        with pytest.raises(PolicyDefinitionError, match="unexpected"):
+            automaton.instantiate(bogus=1)
+
+    def test_sets_normalised_to_frozenset(self):
+        automaton = simple_automaton(parameters=("bl",))
+        policy = automaton.instantiate(bl={1, 2})
+        assert policy.environment()["bl"] == frozenset({1, 2})
+
+    def test_policy_equality_by_name_and_arguments(self):
+        automaton = simple_automaton(parameters=("p",))
+        assert automaton.instantiate(p=1) == automaton.instantiate(p=1)
+        assert automaton.instantiate(p=1) != automaton.instantiate(p=2)
+
+    def test_policies_are_hashable(self):
+        automaton = simple_automaton(parameters=("p",))
+        policies = {automaton.instantiate(p=1), automaton.instantiate(p=1)}
+        assert len(policies) == 1
+
+
+class TestConcreteRuns:
+    def test_matching_edge_fires(self):
+        policy = simple_automaton().instantiate()
+        assert policy.accepts([Event("hit")])
+
+    def test_unmatched_event_self_loops(self):
+        policy = simple_automaton().instantiate()
+        assert policy.respects([Event("miss"), Event("other")])
+
+    def test_offending_is_absorbing(self):
+        policy = simple_automaton().instantiate()
+        assert policy.accepts([Event("hit"), Event("miss")])
+
+    def test_first_violation_index(self):
+        policy = simple_automaton().instantiate()
+        assert policy.first_violation(
+            [Event("a"), Event("hit"), Event("b")]) == 1
+        assert policy.first_violation([Event("a")]) is None
+
+    def test_binderless_pattern_is_payload_agnostic(self):
+        policy = simple_automaton().instantiate()
+        assert policy.accepts([Event("hit", (1, 2, 3))])
+
+    def test_bindered_pattern_requires_exact_arity(self):
+        automaton = (AutomatonBuilder("arity")
+                     .state("q0", initial=True)
+                     .state("bad", offending=True)
+                     .edge("q0", "bad", "e", binders=("x",))
+                     .build())
+        policy = automaton.instantiate()
+        assert policy.accepts([Event("e", (7,))])
+        assert policy.respects([Event("e")])
+        assert policy.respects([Event("e", (7, 8))])
+
+    def test_guard_filters_matches(self):
+        automaton = (AutomatonBuilder("guarded", parameters=("limit",))
+                     .state("q0", initial=True)
+                     .state("bad", offending=True)
+                     .edge("q0", "bad", "spend", binders=("amount",),
+                           guard=le("limit", "amount"))
+                     .build())
+        policy = automaton.instantiate(limit=100)
+        assert policy.respects([Event("spend", (99,))])
+        assert policy.accepts([Event("spend", (100,))])
+
+
+class TestQuantifiedVariables:
+    def make_same_resource(self):
+        return (AutomatonBuilder("rw", variables=("x",))
+                .state("q0", initial=True)
+                .state("bad", offending=True)
+                .edge("q0", "q1", "read", binders=("x",))
+                .edge("q1", "bad", "write", binders=("x",))
+                .build().instantiate())
+
+    def test_same_resource_violation(self):
+        policy = self.make_same_resource()
+        assert policy.accepts([Event("read", (1,)), Event("write", (1,))])
+
+    def test_different_resource_is_fine(self):
+        policy = self.make_same_resource()
+        assert policy.respects([Event("read", (1,)), Event("write", (2,))])
+
+    def test_witness_found_among_many_values(self):
+        policy = self.make_same_resource()
+        trace = [Event("read", (1,)), Event("read", (2,)),
+                 Event("write", (3,)), Event("write", (2,))]
+        assert policy.accepts(trace)  # witness x = 2
+
+    def test_late_first_occurrence(self):
+        # The witness value appears only late in the trace.
+        policy = self.make_same_resource()
+        trace = [Event("write", (9,)), Event("read", (9,)),
+                 Event("write", (9,))]
+        assert policy.accepts(trace)
+
+    def test_two_variable_chinese_wall(self):
+        from repro.policies.library import chinese_wall
+        wall = chinese_wall("access")
+        assert wall.respects([Event("access", ("A",))] * 3)
+        assert wall.accepts([Event("access", ("A",)),
+                             Event("access", ("B",))])
+
+
+class TestRunnerInternals:
+    def test_runner_forks_on_new_values(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        runner = PolicyRunner(policy)
+        runner.step(Event("read", (1,)))
+        table = runner.current_states()
+        values = {dict(sigma)["x"] for sigma in table}
+        assert 1 in values and STAR in values
+
+    def test_runner_agrees_with_eager_enumeration(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        traces = [
+            [Event("read", (1,)), Event("write", (1,))],
+            [Event("read", (1,)), Event("write", (2,))],
+            [Event("write", (1,)), Event("read", (1,))],
+            [Event("read", (1,)), Event("read", (2,)),
+             Event("write", (2,))],
+        ]
+        automaton = policy.automaton
+        for trace in traces:
+            # Eager: any assignment σ whose concrete run hits `bad`.
+            universe = {p for e in trace for p in e.params}
+            eager = False
+            for sigma in assignments(automaton.variables, universe):
+                env = {**policy.environment(), **sigma}
+                states = {automaton.initial}
+                for item in trace:
+                    states = frozenset().union(
+                        *(automaton.step_concrete(s, item, env)
+                          for s in states))
+                if states & automaton.offending:
+                    eager = True
+                    break
+            assert policy.accepts(trace) == eager
+
+    def test_freeze_roundtrip(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        runner = PolicyRunner(policy)
+        runner.step(Event("read", (1,)))
+        frozen = runner.freeze()
+        revived = PolicyRunner.from_frozen(policy, frozen)
+        runner.step(Event("write", (1,)))
+        revived.step(Event("write", (1,)))
+        assert runner.in_violation == revived.in_violation is True
+
+    def test_frozen_states_hash_consistently(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        a, b = PolicyRunner(policy), PolicyRunner(policy)
+        for runner in (a, b):
+            runner.step(Event("read", (1,)))
+        assert a.freeze() == b.freeze()
+        assert hash(a.freeze()) == hash(b.freeze())
+
+
+class TestDotExport:
+    def test_dot_mentions_states_and_edges(self):
+        automaton = simple_automaton()
+        dot = automaton.to_dot()
+        assert "digraph" in dot
+        assert '"q0" -> "bad"' in dot
+        assert "doublecircle" in dot  # offending rendering

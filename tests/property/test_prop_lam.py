@@ -1,0 +1,123 @@
+"""Property-based checks of the λ front end.
+
+Random *unit-valued* service programs are generated compositionally:
+sequences of primitives, conditionals over output-guarded branches,
+offers, sessions, framings and guarded recursion.  By construction they
+are well typed, so inference must succeed, be deterministic, and always
+produce closed, well-formed history expressions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.syntax import is_closed
+from repro.core.wellformed import is_well_formed
+from repro.lam import (BOOL, UNIT, UNIT_VALUE, app, cond, evt, fix, infer,
+                       offer, open_session, recv, send, seq_terms, var,
+                       within)
+from repro.lam.infer import extract
+
+from tests.strategies import policies
+
+CHANNELS = ("a", "b", "c")
+EVENTS = ("read", "write", "log")
+
+
+def unit_programs(max_depth: int = 4):
+    """Unit-valued, well-typed service programs.
+
+    Conditional branches are always built from `send`-headed programs,
+    so the effect join always succeeds.
+    """
+    base = (st.just(UNIT_VALUE)
+            | st.sampled_from(EVENTS).map(lambda name: evt(name, 1))
+            | st.sampled_from(CHANNELS).map(send)
+            | st.sampled_from(CHANNELS).map(recv))
+
+    def extend(children):
+        sequenced = st.lists(children, min_size=2, max_size=3).map(
+            lambda steps: seq_terms(*steps))
+        offered = st.lists(
+            st.tuples(st.sampled_from(CHANNELS), children),
+            min_size=1, max_size=2,
+            unique_by=lambda branch: branch[0]).map(
+            lambda branches: offer(*branches))
+        conditional = st.tuples(
+            st.sampled_from(CHANNELS), children,
+            st.sampled_from(CHANNELS), children).map(
+            lambda quad: cond(var("flag"),
+                              seq_terms(send(quad[0]), quad[1]),
+                              seq_terms(send(quad[2]), quad[3])))
+        framed = st.tuples(policies(), children).map(
+            lambda pair: within(pair[0], pair[1]))
+        sessions = st.tuples(st.integers(0, 10**9), children).map(
+            lambda pair: open_session(f"r{pair[0]}", None, pair[1]))
+        return sequenced | offered | conditional | framed | sessions
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+ENV = {"flag": BOOL}
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=unit_programs())
+def test_generated_programs_type_check(program):
+    judgement = infer(program, env=ENV)
+    assert judgement.type == UNIT
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=unit_programs())
+def test_extracted_effects_are_closed(program):
+    judgement = infer(program, env=ENV)
+    assert is_closed(judgement.effect)
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=unit_programs())
+def test_extracted_effects_are_well_formed_unless_duplicated_requests(
+        program):
+    # Random session identifiers can collide (well-formedness requires
+    # unique request ids); any other defect is a bug.
+    from repro.core.syntax import requests_of
+    judgement = infer(program, env=ENV)
+    ids = [node.request for node in requests_of(judgement.effect)]
+    if len(ids) == len(set(ids)):
+        assert is_well_formed(judgement.effect)
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=unit_programs())
+def test_inference_is_deterministic(program):
+    first = infer(program, env=ENV)
+    second = infer(program, env=ENV)
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=unit_programs())
+def test_sequencing_effects_composes(program):
+    """effect(e ; e') = effect(e) · effect(e')."""
+    from repro.core.syntax import seq as he_seq
+    single = infer(program, env=ENV).effect
+    double = infer(seq_terms(program, program), env=ENV).effect
+    assert double == he_seq(single, single)
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=unit_programs(max_depth=3))
+def test_guarded_recursion_always_closes(program):
+    """Wrapping any generated program in a guarded tail-recursive server
+    produces a μ-closed, well-formed latent effect."""
+    server = fix("serve", "u", UNIT, UNIT,
+                 offer(("go", seq_terms(program,
+                                        app(var("serve"), UNIT_VALUE))),
+                       ("stop", UNIT_VALUE)))
+    judgement = infer(server, env=ENV)
+    latent = judgement.type.latent
+    assert is_closed(latent)
+    from repro.core.syntax import requests_of
+    ids = [node.request for node in requests_of(latent)]
+    if len(ids) == len(set(ids)):
+        assert is_well_formed(latent)

@@ -1,0 +1,35 @@
+"""Property-based round-trip tests for the surface language."""
+
+from hypothesis import given, settings
+
+from repro.core.syntax import policies_of
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+from tests.strategies import contracts, history_expressions
+
+
+def roundtrip(term):
+    names = {policy: f"p{i}"
+             for i, policy in enumerate(sorted(policies_of(term), key=str))}
+    env = {name: policy for policy, name in names.items()}
+    rendered = pretty(term, names)
+    return parse(rendered, policies=env)
+
+
+@settings(max_examples=250, deadline=None)
+@given(term=contracts())
+def test_contracts_round_trip(term):
+    assert roundtrip(term) == term
+
+
+@settings(max_examples=250, deadline=None)
+@given(term=history_expressions())
+def test_full_expressions_round_trip(term):
+    assert roundtrip(term) == term
+
+
+@settings(max_examples=100, deadline=None)
+@given(term=history_expressions())
+def test_pretty_is_deterministic(term):
+    assert pretty(term) == pretty(term)

@@ -1,0 +1,73 @@
+"""Property-based checks of the quantitative extension."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Event
+from repro.core.semantics import step, traces
+from repro.contracts.lts import build_lts
+from repro.quantitative.costs import (CostModel, UNBOUNDED, trace_cost,
+                                      worst_case_cost)
+from repro.quantitative.policies import budget_policy
+
+from tests.strategies import EVENT_NAMES, history_expressions
+
+MODEL = CostModel.of({"read": 2, "write": 5, "open": 1})
+
+
+def _is_dag(lts):
+    return not any(state in lts.reachable_from(target)
+                   for state in lts.states
+                   for _, target in lts.transitions[state])
+
+
+@settings(max_examples=120, deadline=None)
+@given(term=history_expressions(max_depth=3))
+def test_worst_case_cost_matches_trace_enumeration_on_dags(term):
+    lts = build_lts(term, step)
+    if not _is_dag(lts):
+        return
+    computed = worst_case_cost(MODEL, lts)
+    assert computed != UNBOUNDED
+    best = 0.0
+    for trace in traces(term, max_length=len(lts) + 1):
+        events = [label for label in trace if isinstance(label, Event)]
+        best = max(best, trace_cost(MODEL, events))
+    assert computed == best
+
+
+@settings(max_examples=120, deadline=None)
+@given(term=history_expressions(max_depth=3))
+def test_worst_case_cost_is_monotone_in_the_model(term):
+    """Raising every weight never lowers the worst case."""
+    lts = build_lts(term, step)
+    cheap = worst_case_cost(CostModel.of({"read": 1}), lts)
+    dear = worst_case_cost(CostModel.of({"read": 2, "write": 1}), lts)
+    assert dear >= cheap
+
+
+@settings(max_examples=150, deadline=None)
+@given(counts=st.lists(st.sampled_from(EVENT_NAMES), max_size=10),
+       budget=st.integers(0, 8))
+def test_budget_policy_agrees_with_arithmetic(counts, budget):
+    """The compiled counting automaton accepts exactly the traces whose
+    arithmetic cost exceeds the budget."""
+    weights = {"read": 1, "write": 2}
+    policy = budget_policy("cap", weights, budget)
+    trace = [Event(name) for name in counts]
+    spent = sum(weights.get(name, 0) for name in counts)
+    assert policy.accepts(trace) == (spent > budget)
+
+
+@settings(max_examples=100, deadline=None)
+@given(counts=st.lists(st.sampled_from(("read", "write")), max_size=8),
+       budget=st.integers(0, 6))
+def test_budget_violation_is_prefix_monotone(counts, budget):
+    policy = budget_policy("cap", {"read": 1, "write": 2}, budget)
+    runner = policy.runner()
+    violated = False
+    for name in counts:
+        runner.step(Event(name))
+        if violated:
+            assert runner.in_violation
+        violated = runner.in_violation

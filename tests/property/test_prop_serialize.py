@@ -1,0 +1,33 @@
+"""Property-based round-trip tests for policy serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.serialize import (automaton_from_dict,
+                                      automaton_to_dict, dumps,
+                                      guard_from_dict, guard_to_dict,
+                                      loads)
+
+from tests.strategies import events, guards, usage_automata
+
+
+@settings(max_examples=200, deadline=None)
+@given(guard=guards())
+def test_guard_round_trip(guard):
+    assert guard_from_dict(guard_to_dict(guard)) == guard
+
+
+@settings(max_examples=150, deadline=None)
+@given(automaton=usage_automata())
+def test_automaton_round_trip(automaton):
+    assert automaton_from_dict(automaton_to_dict(automaton)) == automaton
+
+
+@settings(max_examples=100, deadline=None)
+@given(automaton=usage_automata(),
+       trace=st.lists(events(), max_size=6))
+def test_json_round_trip_preserves_verdicts(automaton, trace):
+    policy = automaton.instantiate()
+    revived = loads(dumps(policy))
+    assert revived == policy
+    assert revived.accepts(trace) == policy.accepts(trace)

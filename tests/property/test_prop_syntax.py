@@ -1,0 +1,74 @@
+"""Property-based checks of the AST machinery: the structural congruence,
+substitution, projection idempotence, and well-formedness generation."""
+
+from hypothesis import given, settings
+
+from repro.core.projection import project
+from repro.core.semantics import step
+from repro.core.syntax import (EPSILON, free_variables, is_closed, seq)
+from repro.core.wellformed import is_well_formed
+from repro.contracts.lts import bisimilar, build_lts
+
+from tests.strategies import contracts, history_expressions
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=history_expressions(), b=history_expressions(),
+       c=history_expressions())
+def test_seq_is_associative_up_to_representation(a, b, c):
+    assert seq(seq(a, b), c) == seq(a, seq(b, c))
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=history_expressions())
+def test_epsilon_is_a_unit(term):
+    assert seq(EPSILON, term) == term
+    assert seq(term, EPSILON) == term
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=history_expressions())
+def test_generated_terms_are_well_formed_and_closed(term):
+    assert is_closed(term)
+    assert is_well_formed(term)
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=contracts())
+def test_generated_contracts_are_well_formed(term):
+    assert is_well_formed(term)
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=history_expressions())
+def test_projection_is_idempotent(term):
+    once = project(term)
+    assert project(once) == once
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=history_expressions())
+def test_projection_preserves_closedness(term):
+    assert not free_variables(project(term))
+
+
+@settings(max_examples=100, deadline=None)
+@given(term=contracts())
+def test_projection_is_identity_on_contracts_up_to_behaviour(term):
+    """Contracts contain nothing to erase: projecting them changes at most
+    degenerate recursion, never behaviour."""
+    assert bisimilar(build_lts(term, step), build_lts(project(term), step))
+
+
+@settings(max_examples=150, deadline=None)
+@given(term=history_expressions())
+def test_transition_systems_are_finite(term):
+    lts = build_lts(term, step, max_states=50_000)
+    assert len(lts) >= 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(term=history_expressions())
+def test_steps_preserve_closedness(term):
+    for _, successor in step(term):
+        assert is_closed(successor)

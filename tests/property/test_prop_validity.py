@@ -1,0 +1,111 @@
+"""Property-based checks of the validity machinery.
+
+The incremental :class:`ValidityMonitor` must agree with the declarative
+prefix-quantified definition on arbitrary histories, and the policy
+runner must agree with eager witness enumeration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Event, FrameOpen
+from repro.core.validity import (History, ValidityMonitor,
+                                 first_invalid_prefix, is_valid)
+from repro.policies.usage_automata import PolicyRunner, assignments
+
+from tests.strategies import events, histories, policies
+
+
+@settings(max_examples=200, deadline=None)
+@given(history=histories())
+def test_monitor_agrees_with_declarative_definition(history):
+    monitor = ValidityMonitor()
+    prefix = History()
+    for label in history:
+        prefix = prefix.append(label)
+        monitor.extend(label)
+        assert monitor.valid == is_valid(prefix), str(prefix)
+
+
+@settings(max_examples=200, deadline=None)
+@given(history=histories())
+def test_can_extend_predicts_extend(history):
+    monitor = ValidityMonitor()
+    for label in history:
+        if not monitor.valid:
+            break
+        predicted = monitor.can_extend(label)
+        actual = monitor.extend(label)
+        assert predicted == actual
+
+
+@settings(max_examples=100, deadline=None)
+@given(history=histories())
+def test_first_invalid_prefix_is_minimal_and_invalid(history):
+    prefix = first_invalid_prefix(history)
+    if prefix is None:
+        assert is_valid(history)
+        return
+    assert not is_valid(prefix)
+    assert is_valid(History(prefix[:-1]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(history=histories())
+def test_validity_is_prefix_closed(history):
+    """A valid history has only valid prefixes (safety)."""
+    if not is_valid(history):
+        return
+    for prefix in History(history).prefixes():
+        assert is_valid(prefix)
+
+
+@settings(max_examples=150, deadline=None)
+@given(policy=policies(),
+       trace=st.lists(events(), max_size=8))
+def test_runner_agrees_with_eager_witness_enumeration(policy, trace):
+    """The incremental witness-forking runner equals the textbook
+    'exists an assignment σ whose concrete run accepts' semantics."""
+    runner = PolicyRunner(policy)
+    for item in trace:
+        runner.step(item)
+    incremental = runner.in_violation
+
+    automaton = policy.automaton
+    universe = {param for item in trace for param in item.params}
+    eager = False
+    for sigma in assignments(automaton.variables, universe):
+        env = {**policy.environment(), **sigma}
+        states = frozenset({automaton.initial})
+        for item in trace:
+            states = frozenset().union(
+                *(automaton.step_concrete(s, item, env) for s in states))
+        if states & automaton.offending:
+            eager = True
+            break
+    assert incremental == eager
+
+
+@settings(max_examples=150, deadline=None)
+@given(policy=policies(), trace=st.lists(events(), max_size=8))
+def test_violation_is_monotone(policy, trace):
+    """Once violated, always violated (offending states are absorbing)."""
+    runner = PolicyRunner(policy)
+    violated = False
+    for item in trace:
+        runner.step(item)
+        if violated:
+            assert runner.in_violation
+        violated = runner.in_violation
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies(), trace=st.lists(events(), max_size=6))
+def test_monitor_copy_is_behaviourally_identical(policy, trace):
+    monitor = ValidityMonitor([FrameOpen(policy)])
+    for item in trace[:len(trace) // 2]:
+        monitor.extend(item)
+    clone = monitor.copy()
+    for item in trace[len(trace) // 2:]:
+        assert monitor.extend(item) == clone.extend(item)
+    assert monitor.valid == clone.valid

@@ -1,0 +1,81 @@
+"""Tests for cost models and worst-case pricing."""
+
+import pytest
+
+from repro.core.actions import Event, FrameOpen
+from repro.core.plans import Plan
+from repro.core.semantics import step
+from repro.core.syntax import (Var, event, external, mu, receive, request,
+                               send, seq)
+from repro.core.validity import History
+from repro.contracts.lts import build_lts
+from repro.network.repository import Repository
+from repro.analysis.session_product import assemble
+from repro.policies.library import forbid
+from repro.quantitative.costs import (CostModel, UNBOUNDED, history_cost,
+                                      trace_cost, worst_case_cost)
+
+MODEL = CostModel.of({"read": 2, "write": 5})
+
+
+class TestCostModel:
+    def test_explicit_and_default(self):
+        assert MODEL.cost_of(Event("read")) == 2
+        assert MODEL.cost_of(Event("other")) == 0
+
+    def test_nonzero_default(self):
+        model = CostModel.of({"read": 2}, default=1)
+        assert model.cost_of(Event("other")) == 1
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.of({"read": -1})
+        with pytest.raises(ValueError):
+            CostModel.of({}, default=-2)
+
+    def test_names(self):
+        assert MODEL.names() == {"read", "write"}
+
+    def test_trace_and_history_cost(self):
+        events = [Event("read"), Event("write"), Event("noop")]
+        assert trace_cost(MODEL, events) == 7
+        history = History([FrameOpen(forbid("x"))] + events)
+        assert history_cost(MODEL, history) == 7
+
+
+class TestWorstCaseCost:
+    def test_straight_line(self):
+        term = seq(event("read"), event("write"))
+        lts = build_lts(term, step)
+        assert worst_case_cost(MODEL, lts) == 7
+
+    def test_branching_takes_the_maximum(self):
+        term = external(("cheap", event("read")),
+                        ("dear", seq(event("write"), event("write"))))
+        lts = build_lts(term, step)
+        assert worst_case_cost(MODEL, lts) == 10
+
+    def test_free_cycle_is_finite(self):
+        term = mu("h", external(("go", seq(event("noop"),
+                                           send("ack", Var("h")))),
+                                ("stop", event("write"))))
+        lts = build_lts(term, step)
+        assert worst_case_cost(MODEL, lts) == 5
+
+    def test_costly_cycle_is_unbounded(self):
+        term = mu("h", external(("go", seq(event("read"),
+                                           send("ack", Var("h")))),
+                                ("stop", seq())))
+        lts = build_lts(term, step)
+        assert worst_case_cost(MODEL, lts) == UNBOUNDED
+
+    def test_session_product_labels_priced(self):
+        client = request("r", None, seq(send("go"), receive("done")))
+        repo = Repository({"srv": receive("go", seq(event("write"),
+                                                    send("done")))})
+        lts = assemble(client, Plan.single("r", "srv"), repo)
+        assert worst_case_cost(MODEL, lts) == 5
+
+    def test_empty_behaviour_costs_nothing(self):
+        lts = build_lts(seq(), step)
+        assert worst_case_cost(MODEL, lts) == 0

@@ -1,0 +1,70 @@
+"""Tests for cost-aware plan synthesis."""
+
+from repro.core.plans import Plan
+from repro.core.syntax import event, external, receive, request, send, seq
+from repro.network.repository import Repository
+from repro.quantitative.costs import CostModel, UNBOUNDED
+from repro.quantitative.planning import (cheapest_valid_plan, plan_cost,
+                                         priced_valid_plans)
+
+MODEL = CostModel.of({"io": 1, "crypto": 10})
+
+
+def make_scenario():
+    client = request("r", None, seq(send("go"),
+                                    external(("done", seq()))))
+    cheap = receive("go", seq(event("io"), send("done")))
+    pricey = receive("go", seq(event("crypto"), event("io"),
+                               send("done")))
+    broken = receive("go", send("oops"))
+    repo = Repository({"cheap": cheap, "pricey": pricey,
+                       "broken": broken})
+    return client, repo
+
+
+class TestPlanCost:
+    def test_costs_differ_by_service(self):
+        client, repo = make_scenario()
+        assert plan_cost(client, Plan.single("r", "cheap"), repo,
+                         MODEL) == 1
+        assert plan_cost(client, Plan.single("r", "pricey"), repo,
+                         MODEL) == 11
+
+
+class TestRanking:
+    def test_priced_plans_sorted_cheapest_first(self):
+        client, repo = make_scenario()
+        priced = priced_valid_plans(client, repo, MODEL)
+        assert [entry.cost for entry in priced] == [1, 11]
+        assert priced[0].plan == Plan.single("r", "cheap")
+        # The non-compliant service never shows up.
+        assert all(entry.plan.lookup("r") != "broken"
+                   for entry in priced)
+
+    def test_cheapest_valid_plan(self):
+        client, repo = make_scenario()
+        best = cheapest_valid_plan(client, repo, MODEL)
+        assert best is not None
+        assert best.plan == Plan.single("r", "cheap")
+        assert best.cost == 1
+        assert "@ 1" in str(best)
+
+    def test_no_valid_plan_gives_none(self):
+        client = request("r", None, seq(send("go"),
+                                        external(("never", seq()))))
+        repo = Repository({"broken": receive("go", send("oops"))})
+        assert cheapest_valid_plan(client, repo, MODEL) is None
+
+    def test_unbounded_plan_cost(self):
+        # A recursive client/service pair can pump io forever: the
+        # worst-case price of that plan is unbounded.
+        from repro.core.syntax import Var, internal, mu
+        pump_client = request("r", None, mu("h", internal(
+            ("go", receive("ok", Var("h"))), ("quit", seq()))))
+        pump_service = mu("k", external(
+            ("go", seq(event("io"), send("ok", Var("k")))),
+            ("quit", seq())))
+        repo = Repository({"pump": pump_service})
+        cost = plan_cost(pump_client, Plan.single("r", "pump"), repo,
+                         MODEL)
+        assert cost == UNBOUNDED

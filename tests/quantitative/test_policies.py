@@ -1,0 +1,87 @@
+"""Tests for budget policies compiled to usage automata."""
+
+import pytest
+
+from repro.core.actions import Event, FrameClose, FrameOpen
+from repro.core.plans import Plan
+from repro.core.syntax import Framing, event, receive, request, send, seq
+from repro.core.validity import History, is_valid
+from repro.network.repository import Repository
+from repro.analysis.planner import analyze_plan
+from repro.quantitative.costs import CostModel
+from repro.quantitative.policies import (budget_automaton, budget_policy,
+                                         cost_model_policy)
+
+
+class TestCompilation:
+    def test_state_count(self):
+        automaton = budget_automaton("cap", {"hit": 1}, 3)
+        # spent_0..spent_3 + overrun
+        assert len(automaton.states) == 5
+        assert automaton.offending == {"overrun"}
+
+    def test_zero_cost_events_ignored(self):
+        automaton = budget_automaton("cap", {"free": 0, "hit": 1}, 1)
+        names = {edge.pattern.event for edge in automaton.edges}
+        assert names == {"hit"}
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            budget_automaton("cap", {"hit": -1}, 3)
+        with pytest.raises(ValueError):
+            budget_automaton("cap", {"hit": 1}, -1)
+
+    def test_cost_model_policy_requires_integer_zero_default(self):
+        with pytest.raises(ValueError):
+            cost_model_policy("cap", CostModel.of({"a": 1}, default=1), 3)
+        with pytest.raises(ValueError):
+            cost_model_policy("cap", CostModel.of({"a": 1.5}), 3)
+        policy = cost_model_policy("cap", CostModel.of({"a": 2}), 3)
+        assert policy.accepts([Event("a"), Event("a")])
+
+
+class TestEnforcement:
+    POLICY = budget_policy("cap", {"read": 2, "write": 5}, 6)
+
+    def test_within_budget(self):
+        assert self.POLICY.respects([Event("read")] * 3)   # exactly 6
+
+    def test_over_budget(self):
+        assert self.POLICY.accepts([Event("read"), Event("write")])
+
+    def test_uncharged_events_are_free(self):
+        assert self.POLICY.respects([Event("noop")] * 100)
+
+    def test_overrun_is_absorbing(self):
+        trace = [Event("write"), Event("write"), Event("noop")]
+        assert self.POLICY.accepts(trace)
+
+    def test_validity_integration(self):
+        good = History([FrameOpen(self.POLICY), Event("read"),
+                        Event("read"), FrameClose(self.POLICY)])
+        bad = good.extend([FrameOpen(self.POLICY), Event("read")])
+        # History dependence: the re-opened budget counts the past reads.
+        assert is_valid(good)
+        assert not is_valid(bad.extend([Event("read"),
+                                        Event("read")]))
+
+
+class TestStaticChecking:
+    def test_planner_enforces_budgets(self):
+        cap = budget_policy("cap", {"io": 1}, 1)
+        client = request("r", cap, seq(send("go"), receive("done")))
+        thrifty = receive("go", seq(event("io"), send("done")))
+        wasteful = receive("go", seq(event("io"), event("io"),
+                                     send("done")))
+        repo = Repository({"thrifty": thrifty, "wasteful": wasteful})
+        ok = analyze_plan(client, Plan.single("r", "thrifty"), repo)
+        ko = analyze_plan(client, Plan.single("r", "wasteful"), repo)
+        assert ok.valid
+        assert not ko.valid and not ko.secure
+
+    def test_bpa_checker_enforces_budgets(self):
+        from repro.bpa.modelcheck import check_validity_bpa
+        cap = budget_policy("cap", {"io": 1}, 1)
+        assert check_validity_bpa(Framing(cap, event("io"))).valid
+        assert not check_validity_bpa(
+            Framing(cap, seq(event("io"), event("io")))).valid

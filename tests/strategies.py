@@ -1,0 +1,226 @@
+"""Hypothesis strategies for the property-based tests.
+
+Generates well-formed history expressions (closed, guarded tail
+recursion), contracts (their projections), histories, and policies — the
+raw material for machine-checking Theorem 1, the monitor/declarative
+validity agreement, the BPA translation, and the parser round trip.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.actions import Event, FrameClose, FrameOpen
+from repro.core.syntax import (EPSILON, EventNode, ExternalChoice, Framing,
+                               HistoryExpression, InternalChoice, Mu, Request,
+                               Var, seq)
+from repro.core.validity import History
+from repro.policies.library import (at_most, forbid, never_after,
+                                    require_before)
+
+#: A small channel alphabet keeps synchronisation (and therefore
+#: interesting compliance structure) likely.
+CHANNELS = ("a", "b", "c", "d")
+
+#: Event names / payloads for security-flavoured strategies.
+EVENT_NAMES = ("read", "write", "open", "close")
+PAYLOADS = (1, 2, "x")
+
+
+def events() -> st.SearchStrategy[Event]:
+    """Access events over a small alphabet."""
+    return st.builds(
+        Event,
+        st.sampled_from(EVENT_NAMES),
+        st.tuples() | st.tuples(st.sampled_from(PAYLOADS)))
+
+
+def policies() -> st.SearchStrategy:
+    """A handful of concrete policies over the same event alphabet."""
+    return st.sampled_from([
+        never_after("read", "write"),
+        never_after("write", "read"),
+        forbid("close"),
+        at_most("open", 2),
+        require_before("open", "read"),
+        never_after("read", "write", same_resource=True),
+    ])
+
+
+def _choice_branches(continuations, labels):
+    return st.lists(
+        st.tuples(st.sampled_from(labels), continuations),
+        min_size=1, max_size=3,
+        unique_by=lambda branch: branch[0])
+
+
+def contracts(max_depth: int = 4,
+              recursion: bool = True) -> st.SearchStrategy[HistoryExpression]:
+    """Closed, well-formed *contracts*: communication-only expressions.
+
+    Recursion, when enabled, is generated in guarded tail position only
+    (``μh.(choice … h)``), matching the calculus restriction.
+    """
+    from repro.core.actions import Receive, Send
+
+    def extend(children):
+        external = _choice_branches(children,
+                                    [Receive(c) for c in CHANNELS]).map(
+            lambda branches: ExternalChoice(tuple(branches)))
+        internal = _choice_branches(children,
+                                    [Send(c) for c in CHANNELS]).map(
+            lambda branches: InternalChoice(tuple(branches)))
+        sequence = st.tuples(children, children).map(
+            lambda pair: seq(*pair))
+        return external | internal | sequence
+
+    base = st.just(EPSILON)
+    strategy = st.recursive(base, extend, max_leaves=max_depth * 2)
+    if not recursion:
+        return strategy
+    return strategy.flatmap(_maybe_wrap_recursion)
+
+
+def _maybe_wrap_recursion(term: HistoryExpression):
+    """Optionally close a μ-loop around a (choice-guarded) body."""
+    from repro.core.actions import Receive, Send
+
+    def build_loop(channel_and_kind):
+        channel, is_output = channel_and_kind
+        label = Send(channel) if is_output else Receive(channel)
+        branch = (label, seq(term, Var("h")))
+        if is_output:
+            body = InternalChoice((branch, (Send("d"), EPSILON)))
+        else:
+            body = ExternalChoice((branch, (Receive("d"), EPSILON)))
+        return Mu("h", body)
+
+    loop = st.tuples(st.sampled_from(CHANNELS[:3]),
+                     st.booleans()).map(build_loop)
+    return st.just(term) | loop
+
+
+def history_expressions(max_depth: int = 4
+                        ) -> st.SearchStrategy[HistoryExpression]:
+    """Closed, well-formed full history expressions: contracts enriched
+    with events, framings and requests."""
+
+    def extend(children):
+        from repro.core.actions import Receive, Send
+
+        external = _choice_branches(children,
+                                    [Receive(c) for c in CHANNELS]).map(
+            lambda branches: ExternalChoice(tuple(branches)))
+        internal = _choice_branches(children,
+                                    [Send(c) for c in CHANNELS]).map(
+            lambda branches: InternalChoice(tuple(branches)))
+        sequence = st.tuples(children, children).map(
+            lambda pair: seq(*pair))
+        framed = st.tuples(policies(), children).map(
+            lambda pair: Framing(pair[0], pair[1]))
+        requested = st.tuples(st.integers(0, 10**9), policies() |
+                              st.none(), children).map(
+            lambda triple: Request(f"r{triple[0]}", triple[1], triple[2]))
+        return external | internal | sequence | framed | requested
+
+    base = st.just(EPSILON) | events().map(EventNode)
+    return st.recursive(base, extend, max_leaves=max_depth * 2).filter(
+        _unique_requests)
+
+
+def _unique_requests(term: HistoryExpression) -> bool:
+    from repro.core.syntax import requests_of
+    ids = [node.request for node in requests_of(term)]
+    return len(ids) == len(set(ids))
+
+
+def histories(max_length: int = 12) -> st.SearchStrategy[History]:
+    """Prefixes of balanced histories over the shared event alphabet."""
+
+    @st.composite
+    def build(draw):
+        length = draw(st.integers(0, max_length))
+        labels = []
+        stack = []
+        for _ in range(length):
+            options = ["event", "open"]
+            if stack:
+                options.append("close")
+            kind = draw(st.sampled_from(options))
+            if kind == "event":
+                labels.append(draw(events()))
+            elif kind == "open":
+                policy = draw(policies())
+                labels.append(FrameOpen(policy))
+                stack.append(policy)
+            else:
+                labels.append(FrameClose(stack.pop()))
+        return History(labels)
+
+    return build()
+
+
+# -- policies / guards ------------------------------------------------------
+
+def guards(max_depth: int = 3) -> st.SearchStrategy:
+    """Random guard expressions over a small name/constant pool."""
+    from repro.policies.guards import (TRUE, And, Compare, Const, Name,
+                                       Not, Or)
+
+    terms = (st.sampled_from(["x", "y", "p", "t"]).map(Name)
+             | st.sampled_from([0, 1, 45, "s", True]).map(Const))
+    comparisons = st.builds(
+        Compare, st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        terms, terms)
+    base = st.just(TRUE) | comparisons
+
+    def extend(children):
+        return (st.builds(And, children, children)
+                | st.builds(Or, children, children)
+                | st.builds(Not, children))
+
+    return st.recursive(base, extend, max_leaves=max_depth * 2)
+
+
+def usage_automata(max_states: int = 4) -> st.SearchStrategy:
+    """Random (validated) usage automata over small alphabets."""
+    from repro.policies.usage_automata import (Edge, EventPattern,
+                                               UsageAutomaton)
+
+    @st.composite
+    def build(draw):
+        count = draw(st.integers(2, max_states))
+        states = tuple(f"q{i}" for i in range(count))
+        offending = frozenset(draw(st.sets(
+            st.sampled_from(states[1:]), min_size=1, max_size=2)))
+        use_variable = draw(st.booleans())
+        variables = ("v",) if use_variable else ()
+        edge_count = draw(st.integers(1, 2 * count))
+        from repro.policies.guards import TRUE, Const, eq, ne
+        edges = []
+        for _ in range(edge_count):
+            source = draw(st.sampled_from(states))
+            target = draw(st.sampled_from(states))
+            name = draw(st.sampled_from(EVENT_NAMES))
+            if use_variable and draw(st.booleans()):
+                binders = ("v",)
+            elif draw(st.booleans()):
+                binders = ("b",)
+            else:
+                binders = ()
+            guard = TRUE
+            if binders and draw(st.booleans()):
+                # A guard over the binder against a payload constant.
+                op = draw(st.sampled_from([eq, ne]))
+                # Wrap payloads in Const: bare strings would be read as
+                # name references by the guard constructors.
+                guard = op(binders[0],
+                           Const(draw(st.sampled_from(PAYLOADS))))
+            edges.append(Edge(source, EventPattern(name, binders, guard),
+                              target))
+        return UsageAutomaton(
+            name="rand", states=frozenset(states), initial=states[0],
+            offending=offending, edges=tuple(edges),
+            parameters=(), variables=variables)
+
+    return build()
