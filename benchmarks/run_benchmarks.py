@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""Benchmark trajectory runner: execute the S1/S2/S3 scaling suites and
+emit a ``BENCH_<n>.json`` file, so performance PRs are measured against
+the previous trajectory instead of asserted.
+
+Unlike the pytest-benchmark suites (``test_s*.py``), which measure one
+code path per test, this runner measures *pairs* of paths in the same
+process and records their ratio:
+
+* **S1** — product-automaton emptiness: the eager explicit construction
+  (``build_product``) vs the on-the-fly BFS (``check_compliance``), on
+  compliant pairs and on non-compliant pairs with deep and shallow
+  counterexamples;
+* **S2** — plan synthesis: ``find_valid_plans`` with memoisation and
+  pruning off vs on (and, optionally, the parallel path), asserting the
+  valid/invalid partitions agree;
+* **S3** — validity: the declarative checker vs the incremental
+  ``ValidityMonitor``, plus the cost of monitor snapshots (``copy``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
+        [--output-dir DIR] [--suites s1,s2,s3] [--repeats N]
+
+The output file is ``BENCH_<n>.json`` with the smallest unused ``n`` in
+the output directory (repository root by default); see DESIGN.md
+("Performance architecture") for how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+for entry in (str(_ROOT / "src"), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.analysis.planner import find_valid_plans  # noqa: E402
+from repro.contracts.contract import (Contract,  # noqa: E402
+                                      clear_contract_caches)
+from repro.contracts.product import build_product  # noqa: E402
+from repro.core import compliance  # noqa: E402
+from repro.core.actions import Event, FrameClose, FrameOpen  # noqa: E402
+from repro.core.compliance import check_compliance  # noqa: E402
+from repro.core.validity import (History, ValidityMonitor,  # noqa: E402
+                                 is_valid)
+from repro.policies.library import at_most  # noqa: E402
+
+from workloads import (almost_compliant_server, chain_client,  # noqa: E402
+                       wide_client, wide_server, worker_pool)
+
+
+def _clear_caches() -> None:
+    """Reset every shared cache so timed runs start cold and comparable."""
+    clear_contract_caches()
+    compliance._cached_contract.cache_clear()
+
+
+def _measure(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()``, caches cleared per run."""
+    best = float("inf")
+    for _ in range(repeats):
+        _clear_caches()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- S1: product emptiness ---------------------------------------------------
+
+def run_s1(quick: bool, repeats: int) -> dict:
+    sizes = [(2, 2), (3, 3)] if quick else [(2, 2), (2, 4), (3, 3),
+                                            (4, 2), (4, 3), (4, 4)]
+    cases = []
+    for width, depth in sizes:
+        client = wide_client(width, depth)
+        compliant_server = wide_server(width, depth)
+        for kind, server in [
+                ("compliant", compliant_server),
+                ("noncompliant_deep",
+                 almost_compliant_server(width, depth)),
+                ("noncompliant_shallow",
+                 almost_compliant_server(width, depth,
+                                         surprise_level=depth - 1))]:
+            eager = _measure(
+                lambda: check_compliance(client, server, engine="eager"),
+                repeats)
+            onthefly = _measure(
+                lambda: check_compliance(client, server), repeats)
+            _clear_caches()
+            result = check_compliance(client, server)
+            eager_states = len(build_product(Contract(client),
+                                             Contract(server)).lts)
+            cases.append({
+                "width": width, "depth": depth, "kind": kind,
+                "compliant": result.compliant,
+                "eager_seconds": eager,
+                "onthefly_seconds": onthefly,
+                "eager_states": eager_states,
+                "onthefly_states": result.explored_states,
+                "speedup": eager / max(onthefly, 1e-9),
+            })
+            print(f"S1 w={width} d={depth} {kind:21s}: "
+                  f"eager {eager * 1e3:8.2f} ms ({eager_states:5d} st)  "
+                  f"on-the-fly {onthefly * 1e3:8.2f} ms "
+                  f"({result.explored_states:5d} st)  "
+                  f"{eager / max(onthefly, 1e-9):5.1f}x")
+    noncompliant = [c for c in cases if not c["compliant"]]
+    return {
+        "cases": cases,
+        "noncompliant_onthefly_faster": all(
+            c["speedup"] > 1.0 for c in noncompliant),
+        "noncompliant_mean_speedup": (
+            sum(c["speedup"] for c in noncompliant) / len(noncompliant)),
+    }
+
+
+# -- S2: plan synthesis ------------------------------------------------------
+
+def _partition(result) -> tuple[frozenset, frozenset]:
+    return (frozenset(a.plan for a in result.valid_plans),
+            frozenset(a.plan for a in result.invalid_plans))
+
+
+def run_s2(quick: bool, repeats: int) -> dict:
+    shapes = [(2, 4), (2, 6)] if quick else [(2, 4), (3, 4), (2, 8),
+                                             (3, 6)]
+    cases = []
+    for requests, services in shapes:
+        client = chain_client(requests)
+        repo = worker_pool(services, defective_every=3)
+        eager = _measure(
+            lambda: find_valid_plans(client, repo, memoize=False,
+                                     prune=False),
+            repeats)
+        memoized = _measure(
+            lambda: find_valid_plans(client, repo), repeats)
+        parallel = _measure(
+            lambda: find_valid_plans(client, repo, parallel=4), repeats)
+        _clear_caches()
+        baseline = find_valid_plans(client, repo, memoize=False,
+                                    prune=False)
+        fast = find_valid_plans(client, repo)
+        assert _partition(baseline) == _partition(fast), \
+            "memoised planner changed the valid/invalid partition"
+        cases.append({
+            "requests": requests, "services": services,
+            "plans": len(baseline.valid_plans) + len(
+                baseline.invalid_plans),
+            "valid_plans": len(baseline.valid_plans),
+            "eager_seconds": eager,
+            "memoized_seconds": memoized,
+            "parallel_seconds": parallel,
+            "speedup": eager / max(memoized, 1e-9),
+        })
+        print(f"S2 k={requests} s={services}: "
+              f"unmemoized {eager * 1e3:8.2f} ms  "
+              f"memoized {memoized * 1e3:8.2f} ms  "
+              f"parallel(4) {parallel * 1e3:8.2f} ms  "
+              f"{eager / max(memoized, 1e-9):5.1f}x")
+    return {
+        "cases": cases,
+        "memoized_faster": all(c["speedup"] > 1.0 for c in cases),
+        "memoized_mean_speedup": (
+            sum(c["speedup"] for c in cases) / len(cases)),
+    }
+
+
+# -- S3: validity ------------------------------------------------------------
+
+def _history(length: int, policies: int = 3) -> History:
+    labels = []
+    stack = []
+    for index in range(policies):
+        policy = at_most(f"boom{index}", index + 1)
+        labels.append(FrameOpen(policy))
+        stack.append(policy)
+    labels.extend(Event("tick", (i % 5,)) for i in range(length))
+    while stack:
+        labels.append(FrameClose(stack.pop()))
+    return History(labels)
+
+
+def run_s3(quick: bool, repeats: int) -> dict:
+    lengths = [100] if quick else [100, 400, 800]
+    cases = []
+    for length in lengths:
+        history = _history(length)
+
+        def monitor_run():
+            monitor = ValidityMonitor()
+            for label in history:
+                monitor.extend(label)
+            return monitor
+
+        declarative = _measure(lambda: is_valid(history), repeats)
+        incremental = _measure(monitor_run, repeats)
+        monitor = monitor_run()
+        snapshots = 200
+        start = time.perf_counter()
+        for _ in range(snapshots):
+            monitor.copy()
+        copy_seconds = (time.perf_counter() - start) / snapshots
+        cases.append({
+            "length": length,
+            "declarative_seconds": declarative,
+            "monitor_seconds": incremental,
+            "monitor_copy_seconds": copy_seconds,
+            "speedup": declarative / max(incremental, 1e-9),
+        })
+        print(f"S3 len={length}: declarative {declarative * 1e3:8.2f} ms  "
+              f"monitor {incremental * 1e3:8.2f} ms  "
+              f"copy {copy_seconds * 1e6:7.1f} us  "
+              f"{declarative / max(incremental, 1e-9):5.1f}x")
+    return {
+        "cases": cases,
+        "monitor_faster": all(c["speedup"] > 1.0 for c in cases),
+    }
+
+
+SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3}
+
+
+def next_bench_path(directory: Path) -> Path:
+    n = 1
+    while (directory / f"BENCH_{n}.json").exists():
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, one repeat (CI smoke run)")
+    parser.add_argument("--output-dir", type=Path, default=_ROOT,
+                        help="directory for BENCH_<n>.json "
+                             "(default: repository root)")
+    parser.add_argument("--suites", default="s1,s2,s3",
+                        help="comma-separated subset of s1,s2,s3")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per measurement "
+                             "(default: 1 with --quick, else 3)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    selected = [name.strip().lower() for name in args.suites.split(",")
+                if name.strip()]
+    unknown = [name for name in selected if name not in SUITES]
+    if unknown:
+        parser.error(f"unknown suites: {', '.join(unknown)}")
+
+    suites = {}
+    started = time.time()
+    for name in selected:
+        print(f"-- suite {name.upper()} "
+              f"({'quick' if args.quick else 'full'}, "
+              f"best of {repeats}) --")
+        suites[name] = SUITES[name](args.quick, repeats)
+
+    report = {
+        "schema": "repro-bench.v1",
+        "quick": args.quick,
+        "repeats": repeats,
+        "started_at": started,
+        "wall_seconds": time.time() - started,
+        "python": sys.version.split()[0],
+        "suites": suites,
+        "summary": {
+            "s1_noncompliant_onthefly_faster_than_eager": suites.get(
+                "s1", {}).get("noncompliant_onthefly_faster"),
+            "s2_memoized_faster_than_eager": suites.get(
+                "s2", {}).get("memoized_faster"),
+        },
+    }
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    path = next_bench_path(args.output_dir)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

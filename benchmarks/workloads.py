@@ -47,14 +47,20 @@ def wide_server(width: int, depth: int) -> HistoryExpression:
     return term
 
 
-def almost_compliant_server(width: int, depth: int) -> HistoryExpression:
-    """Like :func:`wide_server` but the deepest round sends one extra,
-    unhandled answer — non-compliance only detectable at full depth."""
+def almost_compliant_server(width: int, depth: int,
+                            surprise_level: int = 0) -> HistoryExpression:
+    """Like :func:`wide_server` but round *surprise_level* sends one
+    extra, unhandled answer.
+
+    Levels count inside-out: the default 0 plants the defect in the
+    deepest round, so non-compliance is only detectable at full depth;
+    ``depth - 1`` plants it in the first round, where an on-the-fly
+    check finds it after a couple of synchronisations."""
     term: HistoryExpression = EPSILON
     for level in range(depth):
         labels = [(f"ans_{level}_{i}", receive(f"fin_{level}_{i}", term))
                   for i in range(width)]
-        if level == 0:
+        if level == surprise_level:
             labels.append((f"surprise_{level}", EPSILON))
         replies = tuple(labels)
         term = external(*(

@@ -23,6 +23,8 @@ compares against.
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -34,6 +36,41 @@ from repro.analysis.requests import RequestInfo, extract_requests
 from repro.analysis.security import SecurityReport, check_security
 from repro.analysis.session_product import (assemble, deadlocked_trees)
 from repro.network.repository import Repository
+
+
+class ComplianceCache:
+    """Memoised compliance verdicts, keyed ``(request body, service term)``.
+
+    Compliance of a binding depends only on the client-side session body
+    and the chosen service's behaviour — never on the rest of the plan —
+    so one verdict is shared by every candidate plan containing the
+    binding: Theorem 1 is decided once per distinct pair instead of once
+    per plan.  ``hits``/``misses`` are exposed for the benchmark harness.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[HistoryExpression, HistoryExpression],
+                          ComplianceResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def check(self, body: HistoryExpression,
+              service: HistoryExpression) -> ComplianceResult:
+        """The memoised equivalent of :func:`check_compliance`."""
+        key = (body, service)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = check_compliance(body, service)
+        self._table[key] = result
+        self.misses += 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 @dataclass(frozen=True)
@@ -136,11 +173,23 @@ def enumerate_plans(client: HistoryExpression,
 
 def analyze_plan(client: HistoryExpression, plan: Plan,
                  repository: Repository,
-                 location: str = "client") -> PlanAnalysis:
-    """Run both static checks on one candidate plan."""
+                 location: str = "client", *,
+                 cache: ComplianceCache | None = None,
+                 prune: bool = False) -> PlanAnalysis:
+    """Run both static checks on one candidate plan.
+
+    *cache* memoises compliance verdicts across calls (shared by the
+    planner over all candidate plans).  With *prune*, the analysis stops
+    at the first failed compliance check and skips the security model
+    checking entirely — the plan is already invalid, and compliance of a
+    binding is independent of the rest of the plan, so the verdict (and
+    the valid/invalid partition) is unchanged; only the per-plan cost
+    drops from O(security product) to O(first failing pair).
+    """
     compliance: list[ComplianceCheck] = []
     unserved: list[str] = []
     seen_requests: set[str] = set()
+    decide = cache.check if cache is not None else check_compliance
 
     queue = list(extract_requests(client))
     while queue:
@@ -153,8 +202,13 @@ def analyze_plan(client: HistoryExpression, plan: Plan,
             unserved.append(info.request)
             continue
         service = repository[target]
-        compliance.append(ComplianceCheck(
-            info.request, target, check_compliance(info.body, service)))
+        check = ComplianceCheck(info.request, target,
+                                decide(info.body, service))
+        compliance.append(check)
+        if prune and not check.compliant:
+            return PlanAnalysis(plan, tuple(compliance),
+                                SecurityReport.skipped_report(),
+                                tuple(unserved))
         queue.extend(extract_requests(service))
 
     lts = assemble(client, plan, repository, location)
@@ -181,18 +235,65 @@ class PlannerResult:
 
 def find_valid_plans(client: HistoryExpression, repository: Repository,
                      candidates=None, location: str = "client",
-                     max_plans: int | None = None) -> PlannerResult:
+                     max_plans: int | None = None, *,
+                     memoize: bool = True,
+                     prune: bool | None = None,
+                     parallel: int | None = None) -> PlannerResult:
     """Enumerate and analyse plans for *client*, separating the valid
     ones — the viable orchestrations of Section 5.
 
     *max_plans* bounds the number of candidates analysed (``None`` for
-    all)."""
+    all).
+
+    *memoize* (default on) shares one :class:`ComplianceCache` across all
+    candidates, so each distinct ``(request body, service)`` pair is
+    decided once.  *prune* (defaults to *memoize*) short-circuits the
+    analysis of any plan containing a binding already known to fail
+    compliance — such a plan skips even its compliance walk and never
+    reaches the security model checker.  Neither knob changes the
+    valid/invalid partition: pruned plans are still enumerated and
+    reported invalid, carrying the failing check.
+
+    *parallel* > 1 analyses candidates with a thread pool of that many
+    workers (opt-in; worthwhile for large repositories where analyses
+    release the interpreter lock or the pool hides I/O-ish latency).
+    Results keep enumeration order regardless.
+    """
+    if prune is None:
+        prune = memoize
+    cache = ComplianceCache() if memoize else None
+    plans = enumerate_plans(client, repository, candidates)
+    if max_plans is not None:
+        plans = itertools.islice(plans, max_plans)
+
+    #: Bindings whose compliance already failed → the cached failing check.
+    bad_bindings: dict[tuple[str, str], ComplianceCheck] = {}
+
+    def analyse(plan: Plan) -> PlanAnalysis:
+        if prune:
+            for binding in plan.items():
+                known = bad_bindings.get(binding)
+                if known is not None:
+                    # Every plan containing a failed binding is invalid;
+                    # reuse the verdict without re-walking the plan.
+                    return PlanAnalysis(plan, (known,),
+                                        SecurityReport.skipped_report())
+        analysis = analyze_plan(client, plan, repository, location,
+                                cache=cache, prune=prune)
+        if prune:
+            for check in analysis.compliance:
+                if not check.compliant:
+                    bad_bindings[(check.request, check.location)] = check
+        return analysis
+
+    if parallel is not None and parallel > 1:
+        with ThreadPoolExecutor(max_workers=parallel) as pool:
+            analyses = list(pool.map(analyse, plans))
+    else:
+        analyses = map(analyse, plans)
+
     result = PlannerResult()
-    for count, plan in enumerate(enumerate_plans(client, repository,
-                                                 candidates)):
-        if max_plans is not None and count >= max_plans:
-            break
-        analysis = analyze_plan(client, plan, repository, location)
+    for analysis in analyses:
         if analysis.valid:
             result.valid_plans.append(analysis)
         else:

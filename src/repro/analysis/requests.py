@@ -13,6 +13,7 @@ a plan selects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.syntax import HistoryExpression, Request, requests_of
 
@@ -55,8 +56,13 @@ class RequestTree:
         return len(self.all_requests())
 
 
+@lru_cache(maxsize=4096)
 def extract_requests(term: HistoryExpression) -> tuple[RequestInfo, ...]:
-    """All requests of *term* (nested included), in pre-order."""
+    """All requests of *term* (nested included), in pre-order.
+
+    Memoised: the planner re-extracts the requests of the same client and
+    services once per candidate plan, and terms are immutable.
+    """
     return tuple(RequestInfo.of(node) for node in requests_of(term))
 
 

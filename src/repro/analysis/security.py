@@ -44,12 +44,23 @@ class SecurityReport:
     On failure, ``counterexample`` is the sequence of product labels of a
     shortest trace leading to a violation and ``violated_policy`` the
     policy whose automaton accepted the flattened history.
+
+    ``skipped`` marks a report produced without model checking — the
+    memoized planner prunes the (expensive) security pass for plans
+    already invalidated by a failed compliance check; such a report is
+    vacuously ``secure`` and checked zero states.
     """
 
     secure: bool
     states_checked: int
     counterexample: tuple[ProductLabel, ...] | None = None
     violated_policy: Policy | None = None
+    skipped: bool = False
+
+    @staticmethod
+    def skipped_report() -> "SecurityReport":
+        """The placeholder report for a pruned (never-run) security pass."""
+        return SecurityReport(True, 0, skipped=True)
 
     def __bool__(self) -> bool:
         return self.secure

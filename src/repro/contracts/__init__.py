@@ -8,12 +8,14 @@ contract wrapper (:mod:`repro.contracts.contract`) and the product
 automaton of Definition 5 (:mod:`repro.contracts.product`).
 """
 
-from repro.contracts.contract import Contract
+from repro.contracts.contract import Contract, clear_contract_caches
 from repro.contracts.lts import LTS, build_lts
-from repro.contracts.product import ProductAutomaton, build_product
+from repro.contracts.product import (ProductAutomaton, ProductSearch,
+                                     build_product, search_product)
 from repro.contracts.subcontract import (equivalent, subcontract,
                                          substitutable_services)
 
-__all__ = ["Contract", "LTS", "build_lts", "ProductAutomaton",
-           "build_product", "equivalent", "subcontract",
+__all__ = ["Contract", "clear_contract_caches", "LTS", "build_lts",
+           "ProductAutomaton", "ProductSearch", "build_product",
+           "search_product", "equivalent", "subcontract",
            "substitutable_services"]

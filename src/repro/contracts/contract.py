@@ -8,7 +8,7 @@ transition system of H! is finite state").
 
 from __future__ import annotations
 
-from functools import cached_property
+from functools import lru_cache
 
 from repro.core.actions import Label, Receive, Send, is_input, is_output
 from repro.core.projection import project
@@ -16,6 +16,34 @@ from repro.core.ready_sets import ReadySet, ready_sets
 from repro.core.semantics import step
 from repro.core.syntax import HistoryExpression, is_closed
 from repro.contracts.lts import LTS, build_lts
+
+#: Entries kept in the shared projection / LTS caches.  Terms are immutable
+#: and structurally hashed, so caching is sound; the bound only trades
+#: memory for recomputation.
+CONTRACT_CACHE_SIZE = 4096
+
+
+@lru_cache(maxsize=CONTRACT_CACHE_SIZE)
+def _projection_of(term: HistoryExpression) -> HistoryExpression:
+    """Shared, memoised projection ``H!``."""
+    return project(term)
+
+
+@lru_cache(maxsize=CONTRACT_CACHE_SIZE)
+def _lts_of(projected: HistoryExpression) -> LTS[HistoryExpression, Label]:
+    """Shared, memoised transition system of a projected term.
+
+    Keyed on the projected term, so every ``Contract`` over a structurally
+    equal term — however constructed — reuses one built LTS (and with it
+    the label-indexed adjacency the LTS itself caches).
+    """
+    return build_lts(projected, step)
+
+
+def clear_contract_caches() -> None:
+    """Drop the shared projection and LTS caches (benchmark hygiene)."""
+    _projection_of.cache_clear()
+    _lts_of.cache_clear()
 
 
 class Contract:
@@ -32,17 +60,20 @@ class Contract:
         if not is_closed(term):
             raise ValueError("contracts are built from closed history "
                              "expressions only")
-        self._term = term if already_projected else project(term)
+        self._term = term if already_projected else _projection_of(term)
 
     @property
     def term(self) -> HistoryExpression:
         """The projected history expression ``H!``."""
         return self._term
 
-    @cached_property
+    @property
     def lts(self) -> LTS[HistoryExpression, Label]:
-        """The (finite) transition system of the contract."""
-        return build_lts(self._term, step)
+        """The (finite) transition system of the contract.
+
+        Served from the module-level LRU, shared across all structurally
+        equal contracts."""
+        return _lts_of(self._term)
 
     @property
     def states(self) -> frozenset[HistoryExpression]:

@@ -14,10 +14,23 @@ Theorem 1: ``H1 ⊢ H2`` iff the language of ``H1 ⊗ H2`` is empty, i.e. no
 final state is reachable.  Theorem 2 observes that conditions (i) and (ii)
 only inspect the current state, making compliance an *invariant* — hence a
 safety — property.
+
+Two constructions are provided:
+
+* :func:`build_product` materialises the full explicit automaton — for
+  callers that need the state space itself (diagnostics, benchmarks,
+  subcontract checks);
+* :func:`search_product` explores the *implicit* product on the fly and
+  stops at the first reachable final state, reconstructing the shortest
+  counterexample from its BFS parent map.  Because compliance is a safety
+  property (Theorem 2), the verdict is decided the moment the first stuck
+  pair is reached — non-compliance costs O(states within the
+  counterexample radius), not O(full product).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -25,10 +38,47 @@ from repro.core.actions import TAU, Tau, co, is_input, is_output
 from repro.core.semantics import is_terminated
 from repro.core.syntax import HistoryExpression
 from repro.contracts.contract import Contract
-from repro.contracts.lts import LTS, build_lts
+from repro.contracts.lts import DEFAULT_STATE_LIMIT, LTS, build_lts
+from repro.core.errors import StateSpaceLimitError
 
 #: A product state ``⟨H1, H2⟩``.
 PairState = tuple[HistoryExpression, HistoryExpression]
+
+
+def is_stuck(client_lts: LTS, server_lts: LTS, state: PairState) -> bool:
+    """The per-state final-state check of Definition 5 (``¬Φ`` of
+    Theorem 2): *state* is stuck unless the client has terminated or both
+    (i) and (ii) hold."""
+    h1, h2 = state
+    if is_terminated(h1):
+        return False
+    labels1 = client_lts.labels_from(h1)
+    labels2 = server_lts.labels_from(h2)
+    outputs1 = {label for label in labels1 if is_output(label)}
+    outputs2 = {label for label in labels2 if is_output(label)}
+    inputs1 = {label for label in labels1 if is_input(label)}
+    inputs2 = {label for label in labels2 if is_input(label)}
+    some_output = bool(outputs1 or outputs2)
+    if not some_output:                               # ¬(i)
+        return True
+    matched = (all(co(out) in inputs2 for out in outputs1)
+               and all(co(out) in inputs1 for out in outputs2))
+    return not matched                                # ¬(ii)
+
+
+def synchronisations(client_lts: LTS, server_lts: LTS, state: PairState):
+    """The product moves out of *state*: every pairing of a communication
+    of one side with its co-action on the other (both directions are
+    covered because each synchronisation appears once as an output and
+    once as an input)."""
+    h1, h2 = state
+    for label in client_lts.labels_from(h1):
+        if not (is_output(label) or is_input(label)):
+            continue
+        partner = co(label)
+        for h1_next in client_lts.successors(h1, label):
+            for h2_next in server_lts.successors(h2, partner):
+                yield h1_next, h2_next
 
 
 @dataclass(frozen=True)
@@ -76,8 +126,71 @@ class ProductAutomaton:
         return state in self.final_states
 
 
+@dataclass(frozen=True)
+class ProductSearch:
+    """Outcome of the on-the-fly emptiness check (:func:`search_product`).
+
+    ``empty`` is the Theorem 1 verdict; on failure ``trace`` is a shortest
+    sequence of product states from the initial one to the stuck witness
+    (its last element).  ``explored`` counts the distinct product states
+    materialised — the regression the benchmarks track: for non-compliant
+    pairs it stays within the BFS radius of the counterexample instead of
+    the full product size.
+    """
+
+    empty: bool
+    trace: tuple[PairState, ...] | None
+    explored: int
+
+    @property
+    def witness(self) -> PairState | None:
+        """The stuck pair, or ``None`` when the language is empty."""
+        return None if self.trace is None else self.trace[-1]
+
+
+def search_product(client: Contract, server: Contract,
+                   max_states: int = DEFAULT_STATE_LIMIT) -> ProductSearch:
+    """Decide ``L(client ⊗ server) = ∅`` without building the automaton.
+
+    BFS over the implicit product; every state is checked against the
+    Definition 5 final-state condition *when first discovered*, so the
+    search short-circuits at the first reachable stuck pair — at minimal
+    synchronisation depth, which keeps the returned counterexample
+    shortest, exactly like :meth:`ProductAutomaton.counterexample`.
+    """
+    client_lts = client.lts
+    server_lts = server.lts
+    initial: PairState = (client.term, server.term)
+
+    if is_stuck(client_lts, server_lts, initial):
+        return ProductSearch(False, (initial,), explored=1)
+
+    parents: dict[PairState, PairState] = {}
+    seen: set[PairState] = {initial}
+    frontier: deque[PairState] = deque([initial])
+    while frontier:
+        state = frontier.popleft()
+        for successor in synchronisations(client_lts, server_lts, state):
+            if successor in seen:
+                continue
+            if len(seen) >= max_states:
+                raise StateSpaceLimitError(max_states)
+            seen.add(successor)
+            parents[successor] = state
+            if is_stuck(client_lts, server_lts, successor):
+                trace = [successor]
+                node = successor
+                while node != initial:
+                    node = parents[node]
+                    trace.append(node)
+                trace.reverse()
+                return ProductSearch(False, tuple(trace), len(seen))
+            frontier.append(successor)
+    return ProductSearch(True, None, len(seen))
+
+
 def build_product(client: Contract, server: Contract) -> ProductAutomaton:
-    """Construct the product automaton ``client ⊗ server``.
+    """Construct the explicit product automaton ``client ⊗ server``.
 
     Both component transition systems are finite (projection of guarded
     tail-recursive terms), so the product is finite as well.
@@ -85,36 +198,14 @@ def build_product(client: Contract, server: Contract) -> ProductAutomaton:
     client_lts = client.lts
     server_lts = server.lts
 
-    def is_final(state: PairState) -> bool:
-        h1, h2 = state
-        if is_terminated(h1):
-            return False
-        labels1 = client_lts.labels_from(h1)
-        labels2 = server_lts.labels_from(h2)
-        outputs1 = {label for label in labels1 if is_output(label)}
-        outputs2 = {label for label in labels2 if is_output(label)}
-        inputs1 = {label for label in labels1 if is_input(label)}
-        inputs2 = {label for label in labels2 if is_input(label)}
-        some_output = bool(outputs1 or outputs2)
-        if not some_output:                               # ¬(i)
-            return True
-        matched = (all(co(out) in inputs2 for out in outputs1)
-                   and all(co(out) in inputs1 for out in outputs2))
-        return not matched                                # ¬(ii)
-
     def successors(state: PairState):
-        if is_final(state):
+        if is_stuck(client_lts, server_lts, state):
             # Definition 5 cuts transitions out of final states.
             return
-        h1, h2 = state
-        for label in client_lts.labels_from(h1):
-            if not (is_output(label) or is_input(label)):
-                continue
-            partner = co(label)
-            for h1_next in client_lts.successors(h1, label):
-                for h2_next in server_lts.successors(h2, partner):
-                    yield TAU, (h1_next, h2_next)
+        for successor in synchronisations(client_lts, server_lts, state):
+            yield TAU, successor
 
     lts = build_lts((client.term, server.term), successors)
-    final = frozenset(state for state in lts.states if is_final(state))
+    final = frozenset(state for state in lts.states
+                      if is_stuck(client_lts, server_lts, state))
     return ProductAutomaton(client, server, lts, final)

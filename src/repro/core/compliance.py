@@ -14,27 +14,33 @@ relates them:
 Note the asymmetry: the client may terminate and walk away, leaving the
 server mid-protocol, but never the other way around.
 
-Two independent deciders are provided:
+Three independent deciders are provided:
 
 * :func:`compliant_coinductive` implements the definition literally, via
   ready sets over the synchronised reachable pairs;
-* :func:`compliant` goes through the product automaton of Definition 5
-  and checks language emptiness (Theorem 1).
+* :func:`compliant` / :func:`check_compliance` check language emptiness of
+  the product of Definition 5 (Theorem 1) **on the fly**: because
+  compliance is a safety property (Theorem 2), the BFS short-circuits at
+  the first reachable stuck pair, never materialising the full product;
+* ``check_compliance(..., engine="eager")`` goes through the explicit
+  product automaton, as the paper's construction literally reads.
 
-The test suite checks that they agree on randomly generated contracts —
-a machine check of Theorem 1.
+The test suite checks that they all agree on randomly generated
+contracts — a machine check of Theorems 1 and 2.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.actions import co, is_input, is_output
 from repro.core.ready_sets import co_set, ready_sets
 from repro.core.syntax import HistoryExpression
 from repro.contracts.contract import Contract
-from repro.contracts.product import PairState, ProductAutomaton, build_product
+from repro.contracts.product import (PairState, ProductAutomaton,
+                                     build_product, search_product)
 
 
 @dataclass(frozen=True)
@@ -43,28 +49,53 @@ class ComplianceResult:
 
     ``compliant`` is the verdict; on failure ``witness`` is a reachable
     stuck pair ``⟨H1, H2⟩`` and ``trace`` the sequence of product states
-    leading to it (both ``None`` on success).
+    leading to it (both ``None`` on success).  ``explored_states`` counts
+    the distinct product states the deciding engine materialised — for the
+    on-the-fly engine on a non-compliant pair this stays within the BFS
+    radius of the shortest counterexample.
     """
 
     compliant: bool
     witness: PairState | None = None
     trace: tuple[PairState, ...] | None = None
+    explored_states: int | None = None
 
     def __bool__(self) -> bool:
         return self.compliant
 
 
 def check_compliance(client: HistoryExpression | Contract,
-                     server: HistoryExpression | Contract
-                     ) -> ComplianceResult:
-    """Decide ``client ⊢ server`` via the product automaton (Theorem 1),
-    returning a counterexample trace when the check fails."""
-    product = build_product(_as_contract(client), _as_contract(server))
-    if product.language_is_empty():
-        return ComplianceResult(True)
-    trace = product.counterexample()
-    assert trace is not None
-    return ComplianceResult(False, witness=trace[-1], trace=trace)
+                     server: HistoryExpression | Contract,
+                     *, engine: str = "onthefly") -> ComplianceResult:
+    """Decide ``client ⊢ server`` via product emptiness (Theorem 1),
+    returning a shortest counterexample trace when the check fails.
+
+    *engine* selects the exploration strategy: ``"onthefly"`` (default)
+    runs the lazy BFS of :func:`~repro.contracts.product.search_product`
+    and stops at the first stuck pair; ``"eager"`` materialises the full
+    explicit automaton first.  Both return the same verdict and a
+    shortest trace; the test suite cross-validates them.
+    """
+    client_c = _as_contract(client)
+    server_c = _as_contract(server)
+    if engine == "onthefly":
+        search = search_product(client_c, server_c)
+        if search.empty:
+            return ComplianceResult(True, explored_states=search.explored)
+        return ComplianceResult(False, witness=search.witness,
+                                trace=search.trace,
+                                explored_states=search.explored)
+    if engine == "eager":
+        product = build_product(client_c, server_c)
+        explored = len(product.lts)
+        if product.language_is_empty():
+            return ComplianceResult(True, explored_states=explored)
+        trace = product.counterexample()
+        assert trace is not None
+        return ComplianceResult(False, witness=trace[-1], trace=trace,
+                                explored_states=explored)
+    raise ValueError(f"unknown compliance engine {engine!r} "
+                     "(expected 'onthefly' or 'eager')")
 
 
 def compliant(client: HistoryExpression | Contract,
@@ -126,7 +157,14 @@ def _ready_set_condition(h1: HistoryExpression,
     return True
 
 
+@lru_cache(maxsize=4096)
+def _cached_contract(term: HistoryExpression) -> Contract:
+    return Contract(term)
+
+
 def _as_contract(value: HistoryExpression | Contract) -> Contract:
     if isinstance(value, Contract):
         return value
-    return Contract(value)
+    # Terms are immutable and structurally hashed: every compliance check
+    # over the same term reuses one Contract (and its built LTS).
+    return _cached_contract(value)

@@ -43,6 +43,10 @@ class History(tuple):
     __slots__ = ()
 
     def __new__(cls, labels: Iterable[HistoryLabel] = ()) -> "History":
+        if type(labels) is History:
+            # Labels coming from a History were validated when it was
+            # built; don't re-check them.
+            return super().__new__(cls, labels)
         items = tuple(labels)
         for item in items:
             if not is_history_label(item):
@@ -50,13 +54,37 @@ class History(tuple):
                     f"{item!r} is not a history label (Ev ∪ Frm)")
         return super().__new__(cls, items)
 
+    @classmethod
+    def _trusted(cls, items: tuple) -> "History":
+        """Wrap an already-validated tuple of labels, skipping the
+        per-label check — internal fast path for growing histories.
+
+        Callers must only pass labels that individually passed
+        :func:`~repro.core.actions.is_history_label`; anything else would
+        corrupt the invariant every other method relies on.
+        """
+        return super().__new__(cls, items)
+
     def append(self, label: HistoryLabel) -> "History":
-        """The history ``η·label``."""
-        return History(tuple(self) + (label,))
+        """The history ``η·label``.
+
+        Only *label* is validated — the existing labels were checked when
+        this history was built, so construction by repeated appends is
+        linear, not quadratic.
+        """
+        if not is_history_label(label):
+            raise TypeError(f"{label!r} is not a history label (Ev ∪ Frm)")
+        return History._trusted(tuple(self) + (label,))
 
     def extend(self, labels: Iterable[HistoryLabel]) -> "History":
-        """The history ``η·labels``."""
-        return History(tuple(self) + tuple(labels))
+        """The history ``η·labels`` (only the new labels are validated)."""
+        items = tuple(labels)
+        if not isinstance(labels, History):
+            for item in items:
+                if not is_history_label(item):
+                    raise TypeError(
+                        f"{item!r} is not a history label (Ev ∪ Frm)")
+        return History._trusted(tuple(self) + items)
 
     def __add__(self, other: Iterable[HistoryLabel]) -> "History":  # type: ignore[override]
         return self.extend(other)
@@ -81,7 +109,7 @@ class History(tuple):
         """All prefixes ``η0`` of ``η``, shortest first, including ``η``
         itself and the empty history."""
         for cut in range(len(self) + 1):
-            yield History(self[:cut])
+            yield History._trusted(self[:cut])
 
     def is_balanced(self) -> bool:
         """True iff the history matches the balanced grammar:
@@ -253,26 +281,22 @@ class ValidityMonitor:
         raise TypeError(f"{label!r} is not a history label")
 
     def copy(self) -> "ValidityMonitor":
-        """An independent snapshot (used when exploring branching runs)."""
+        """An independent snapshot (used when exploring branching runs).
+
+        Live runners are forked in O(their table) rather than rebuilt by
+        replaying the whole event history per active policy.
+        """
         clone = ValidityMonitor()
         clone._events = list(self._events)
         clone._valid = self._valid
         for policy, entry in self._active.items():
-            runner = policy.runner()
-            for past in clone._events:
-                runner.step(past)
-            clone._active[policy] = _ActivePolicy(runner, entry.activations)
+            clone._active[policy] = _ActivePolicy(entry.runner.fork(),
+                                                  entry.activations)
         return clone
 
     @staticmethod
     def _would_violate(runner: PolicyRunner, event: Event) -> bool:
         """Check one event against a runner without mutating it."""
-        probe = runner.policy.runner()
-        # Replaying is exact but wasteful; forking the runner state is the
-        # fast path when available.
-        table = runner.current_states()
-        probe._table = dict(table)
-        probe._seen = set(runner._seen)
-        probe._violated = runner.in_violation
+        probe = runner.fork()
         probe.step(event)
         return probe.in_violation

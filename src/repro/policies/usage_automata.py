@@ -369,6 +369,24 @@ class PolicyRunner:
         white-box tests and debugging."""
         return dict(self._table)
 
+    def fork(self) -> "PolicyRunner":
+        """An independent runner starting from this runner's exact state.
+
+        O(table) — the table values are immutable frozensets, so a shallow
+        copy suffices.  Stepping the fork never affects the original (and
+        vice versa): this is the supported way to probe "what would this
+        event do" or to snapshot runners while exploring branching runs,
+        instead of replaying the whole event history into a fresh runner.
+        """
+        clone = PolicyRunner.__new__(PolicyRunner)
+        clone.policy = self.policy
+        clone._automaton = self._automaton
+        clone._params = self._params  # never mutated after __init__
+        clone._table = dict(self._table)
+        clone._seen = set(self._seen)
+        clone._violated = self._violated
+        return clone
+
     def freeze(self) -> "FrozenRunnerState":
         """A hashable snapshot of the runner, for use as (part of) a model
         checker state."""

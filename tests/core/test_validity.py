@@ -33,6 +33,27 @@ class TestHistoryBasics:
         with pytest.raises(TypeError):
             History([Send("a")])
 
+    def test_append_and_extend_validate_the_new_labels(self):
+        eta = History([GAMMA])
+        with pytest.raises(TypeError):
+            eta.append(Send("a"))
+        with pytest.raises(TypeError):
+            eta.extend([ALPHA, Send("a")])
+        with pytest.raises(TypeError):
+            eta + [Send("a")]
+
+    def test_growth_fast_paths_stay_histories(self):
+        # append/extend/__add__/prefixes skip re-validating labels that
+        # already passed through a History; the results must still be
+        # full-fledged History values.
+        eta = History([GAMMA]).append(ALPHA).extend(History([BETA]))
+        assert isinstance(eta, History)
+        assert tuple(eta) == (GAMMA, ALPHA, BETA)
+        for prefix in eta.prefixes():
+            assert isinstance(prefix, History)
+        assert isinstance(History(eta), History)
+        assert tuple(History(eta)) == tuple(eta)
+
     def test_flatten_erases_framings(self):
         eta = History([GAMMA, FrameOpen(PHI), ALPHA, FrameClose(PHI)])
         assert eta.flatten() == (GAMMA, ALPHA)

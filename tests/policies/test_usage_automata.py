@@ -213,6 +213,30 @@ class TestRunnerInternals:
         assert a.freeze() == b.freeze()
         assert hash(a.freeze()) == hash(b.freeze())
 
+    def test_fork_is_independent_of_the_original(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        runner = PolicyRunner(policy)
+        runner.step(Event("read", (1,)))
+        fork = runner.fork()
+        assert fork.freeze() == runner.freeze()
+        fork.step(Event("write", (1,)))
+        assert fork.in_violation and not runner.in_violation
+        # The original keeps evolving on its own, unaffected by the fork.
+        runner.step(Event("write", (2,)))
+        assert not runner.in_violation
+
+    def test_fork_equals_replaying_the_whole_trace(self):
+        policy = TestQuantifiedVariables().make_same_resource()
+        trace = [Event("read", (1,)), Event("read", (2,)),
+                 Event("write", (3,))]
+        runner = PolicyRunner(policy)
+        for item in trace:
+            runner.step(item)
+        replayed = PolicyRunner(policy)
+        for item in trace:
+            replayed.step(item)
+        assert runner.fork().freeze() == replayed.freeze()
+
 
 class TestDotExport:
     def test_dot_mentions_states_and_edges(self):
