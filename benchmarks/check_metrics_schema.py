@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Validate the telemetry payload of ``BENCH_<n>.json`` trajectory files.
+
+CI runs the benchmark smoke with telemetry enabled and then this script;
+a benchmark file whose cases stopped carrying the instrumentation
+snapshot (counters, cache hit/miss stats, explored-state counts) fails
+the build, so the observability layer cannot silently rot.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_metrics_schema.py BENCH_*.json
+
+Exit status: 0 when every file passes, 1 with a per-file report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Counter keys every instrumented S1 case must have recorded.
+S1_REQUIRED_COUNTERS = (
+    "compliance.explored_states",
+    "compliance.enqueued_states",
+)
+
+#: Cache adapters the snapshot must report on (hits/misses/currsize).
+REQUIRED_CACHES = (
+    "contracts.projection",
+    "contracts.lts",
+)
+
+#: Keys of the per-pass planner summary embedded in S2 cases.
+S2_PLANNER_KEYS = ("plans_analyzed", "plans_valid", "plans_pruned",
+                   "memo_hits", "memo_misses")
+
+ACCEPTED_SCHEMAS = ("repro-bench.v2",)
+
+
+def _check_snapshot(metrics: dict, where: str, errors: list[str],
+                    required_counters: tuple[str, ...] = ()) -> None:
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{where}: metrics.counters missing")
+        return
+    for key in required_counters:
+        if key not in counters:
+            errors.append(f"{where}: counter {key!r} missing")
+    caches = metrics.get("caches")
+    if not isinstance(caches, dict):
+        errors.append(f"{where}: metrics.caches missing")
+        return
+    for name in REQUIRED_CACHES:
+        stats = caches.get(name)
+        if not isinstance(stats, dict):
+            errors.append(f"{where}: cache stats for {name!r} missing")
+            continue
+        for field in ("hits", "misses", "currsize"):
+            if field not in stats:
+                errors.append(f"{where}: cache {name!r} lacks {field!r}")
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable ({error})"]
+
+    schema = report.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        errors.append(f"{path}: schema {schema!r} not in "
+                      f"{ACCEPTED_SCHEMAS}")
+        return errors
+
+    suites = report.get("suites", {})
+    for case_index, case in enumerate(suites.get("s1", {}).get("cases",
+                                                               ())):
+        where = f"{path}: s1.cases[{case_index}]"
+        metrics = case.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}: metrics object missing")
+            continue
+        _check_snapshot(metrics, where, errors, S1_REQUIRED_COUNTERS)
+    for case_index, case in enumerate(suites.get("s2", {}).get("cases",
+                                                               ())):
+        where = f"{path}: s2.cases[{case_index}]"
+        metrics = case.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}: metrics object missing")
+            continue
+        _check_snapshot(metrics, where, errors)
+        planner = metrics.get("planner")
+        if not isinstance(planner, dict):
+            errors.append(f"{where}: metrics.planner summary missing")
+        else:
+            for key in S2_PLANNER_KEYS:
+                if key not in planner:
+                    errors.append(f"{where}: planner key {key!r} missing")
+    for case_index, case in enumerate(suites.get("s3", {}).get("cases",
+                                                               ())):
+        where = f"{path}: s3.cases[{case_index}]"
+        metrics = case.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}: metrics object missing")
+            continue
+        counters = metrics.get("counters", {})
+        if not any(key.startswith("monitor.labels") for key in counters):
+            errors.append(f"{where}: monitor.labels counters missing")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_metrics_schema.py BENCH_*.json",
+              file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for name in argv:
+        failures.extend(check_file(Path(name)))
+    if failures:
+        for failure in failures:
+            print(f"SCHEMA ERROR: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(argv)} benchmark file(s) carry the required "
+          "metrics snapshots")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -50,6 +50,9 @@ from repro.core.actions import Event, FrameClose, FrameOpen  # noqa: E402
 from repro.core.compliance import check_compliance  # noqa: E402
 from repro.core.validity import (History, ValidityMonitor,  # noqa: E402
                                  is_valid)
+from repro.network.monitor import ReferenceMonitor  # noqa: E402
+from repro.observability import (metrics_snapshot,  # noqa: E402
+                                 reset_cache_stats, telemetry_session)
 from repro.policies.library import at_most  # noqa: E402
 
 from workloads import (almost_compliant_server, chain_client,  # noqa: E402
@@ -60,6 +63,21 @@ def _clear_caches() -> None:
     """Reset every shared cache so timed runs start cold and comparable."""
     clear_contract_caches()
     compliance._cached_contract.cache_clear()
+    reset_cache_stats()
+
+
+def _instrumented(fn) -> dict:
+    """Run ``fn()`` once under a fresh telemetry session, cold caches,
+    and return the metrics snapshot (counters + cache hit/miss stats).
+
+    Timed measurements stay *uninstrumented* — telemetry is scoped to
+    this extra run only, so the recorded numbers describe the workload
+    without perturbing the wall-clock comparisons.
+    """
+    _clear_caches()
+    with telemetry_session():
+        fn()
+        return metrics_snapshot()
 
 
 def _measure(fn, repeats: int) -> float:
@@ -98,6 +116,8 @@ def run_s1(quick: bool, repeats: int) -> dict:
             result = check_compliance(client, server)
             eager_states = len(build_product(Contract(client),
                                              Contract(server)).lts)
+            metrics = _instrumented(
+                lambda: check_compliance(client, server))
             cases.append({
                 "width": width, "depth": depth, "kind": kind,
                 "compliant": result.compliant,
@@ -106,6 +126,7 @@ def run_s1(quick: bool, repeats: int) -> dict:
                 "eager_states": eager_states,
                 "onthefly_states": result.explored_states,
                 "speedup": eager / max(onthefly, 1e-9),
+                "metrics": metrics,
             })
             print(f"S1 w={width} d={depth} {kind:21s}: "
                   f"eager {eager * 1e3:8.2f} ms ({eager_states:5d} st)  "
@@ -150,6 +171,8 @@ def run_s2(quick: bool, repeats: int) -> dict:
         fast = find_valid_plans(client, repo)
         assert _partition(baseline) == _partition(fast), \
             "memoised planner changed the valid/invalid partition"
+        metrics = _instrumented(lambda: find_valid_plans(client, repo))
+        metrics["planner"] = fast.metrics
         cases.append({
             "requests": requests, "services": services,
             "plans": len(baseline.valid_plans) + len(
@@ -159,6 +182,7 @@ def run_s2(quick: bool, repeats: int) -> dict:
             "memoized_seconds": memoized,
             "parallel_seconds": parallel,
             "speedup": eager / max(memoized, 1e-9),
+            "metrics": metrics,
         })
         print(f"S2 k={requests} s={services}: "
               f"unmemoized {eager * 1e3:8.2f} ms  "
@@ -208,12 +232,15 @@ def run_s3(quick: bool, repeats: int) -> dict:
         for _ in range(snapshots):
             monitor.copy()
         copy_seconds = (time.perf_counter() - start) / snapshots
+        metrics = _instrumented(
+            lambda: ReferenceMonitor().observe_all(history))
         cases.append({
             "length": length,
             "declarative_seconds": declarative,
             "monitor_seconds": incremental,
             "monitor_copy_seconds": copy_seconds,
             "speedup": declarative / max(incremental, 1e-9),
+            "metrics": metrics,
         })
         print(f"S3 len={length}: declarative {declarative * 1e3:8.2f} ms  "
               f"monitor {incremental * 1e3:8.2f} ms  "
@@ -265,7 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         suites[name] = SUITES[name](args.quick, repeats)
 
     report = {
-        "schema": "repro-bench.v1",
+        "schema": "repro-bench.v2",
         "quick": args.quick,
         "repeats": repeats,
         "started_at": started,

@@ -28,7 +28,11 @@ from repro.analysis.security import SecurityReport
 def explain_compliance(result: ComplianceResult) -> str:
     """A narrative for a compliance verdict."""
     if result.compliant:
-        return "compliant: every interaction can progress to completion."
+        text = "compliant: every interaction can progress to completion."
+        if result.explored_states is not None:
+            text += (f" ({result.explored_states} product state(s) "
+                     "explored)")
+        return text
     assert result.witness is not None and result.trace is not None
     client_state, server_state = result.witness
     lines = [f"NOT compliant: the session can get stuck after "
@@ -42,6 +46,9 @@ def explain_compliance(result: ComplianceResult) -> str:
     lines.append(f"  client: {pretty(client_state)}")
     lines.append(f"  server: {pretty(server_state)}")
     lines.append(_stuck_reason(client_state, server_state))
+    if result.explored_states is not None:
+        lines.append(f"({result.explored_states} product state(s) "
+                     "explored before the verdict)")
     return "\n".join(lines)
 
 
@@ -100,12 +107,19 @@ def explain_security(report: SecurityReport) -> str:
     return "\n".join(lines)
 
 
-def explain_plan(analysis: PlanAnalysis) -> str:
-    """A full narrative for a plan analysis."""
+def explain_plan(analysis: PlanAnalysis,
+                 planner_metrics: dict | None = None) -> str:
+    """A full narrative for a plan analysis.
+
+    *planner_metrics* (the :class:`~repro.analysis.planner.PlannerResult`
+    ``metrics`` dict, when the caller ran a whole planning pass) adds a
+    summary of memoisation hits and pruned plans to the narrative.
+    """
     lines = [f"plan {analysis.plan}:"]
     if analysis.valid:
         lines.append("  VALID — secure and unfailing; the run-time "
                      "monitor can be switched off.")
+        lines.extend(_planner_effort_lines(analysis, planner_metrics))
         return "\n".join(lines)
     if analysis.unserved_requests:
         lines.append("  incomplete: no service bound for request(s) "
@@ -116,10 +130,39 @@ def explain_plan(analysis: PlanAnalysis) -> str:
         lines.append(f"  request {check.request} -> {check.location}:")
         for line in explain_compliance(check.result).splitlines():
             lines.append("    " + line)
-    if not analysis.security.secure:
+    if analysis.security.skipped:
+        lines.append("  security check skipped: a failed compliance "
+                     "binding already invalidates the plan (pruned).")
+    elif not analysis.security.secure:
         for line in explain_security(analysis.security).splitlines():
             lines.append("  " + line)
+    lines.extend(_planner_effort_lines(analysis, planner_metrics))
     return "\n".join(lines)
+
+
+def _planner_effort_lines(analysis: PlanAnalysis,
+                          planner_metrics: dict | None) -> list[str]:
+    """The explored-state / memoisation summary of a plan narrative."""
+    lines: list[str] = []
+    explored = [check.result.explored_states
+                for check in analysis.compliance
+                if check.result.explored_states is not None]
+    if explored:
+        lines.append(f"  compliance explored {sum(explored)} product "
+                     f"state(s) over {len(explored)} binding(s)")
+    if not analysis.security.skipped and analysis.security.states_checked:
+        lines.append("  security model checking visited "
+                     f"{analysis.security.states_checked} abstract "
+                     "state(s)")
+    if planner_metrics:
+        memo_hits = planner_metrics.get("memo_hits", 0)
+        memo_misses = planner_metrics.get("memo_misses", 0)
+        pruned = planner_metrics.get("plans_pruned", 0)
+        if memo_hits or memo_misses or pruned:
+            lines.append(f"  planner: {memo_hits} memo hit(s), "
+                         f"{memo_misses} miss(es), {pruned} plan(s) "
+                         "pruned this pass")
+    return lines
 
 
 def explain_pair(client_body: HistoryExpression,

@@ -26,7 +26,10 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterator
+
+from repro.observability import runtime as _telemetry
 
 from repro.core.compliance import ComplianceResult, check_compliance
 from repro.core.errors import PlanError
@@ -61,10 +64,19 @@ class ComplianceCache:
         """The memoised equivalent of :func:`check_compliance`."""
         key = (body, service)
         cached = self._table.get(key)
+        tel = _telemetry.active()
         if cached is not None:
             self.hits += 1
+            if tel is not None:
+                tel.metrics.counter("planner.memo", outcome="hit").inc()
             return cached
-        result = check_compliance(body, service)
+        if tel is None:
+            result = check_compliance(body, service)
+        else:
+            tel.metrics.counter("planner.memo", outcome="miss").inc()
+            with tel.metrics.histogram(
+                    "planner.binding_check_seconds").time():
+                result = check_compliance(body, service)
         self._table[key] = result
         self.misses += 1
         return result
@@ -219,10 +231,17 @@ def analyze_plan(client: HistoryExpression, plan: Plan,
 
 @dataclass
 class PlannerResult:
-    """The outcome of a full planning pass for one client."""
+    """The outcome of a full planning pass for one client.
+
+    ``metrics`` summarises the work the pass performed — plans analysed
+    and pruned, memo hits/misses, distinct bindings decided — and is
+    always filled (cheap integers), telemetry enabled or not, so
+    diagnostics can narrate planner effort.
+    """
 
     valid_plans: list[PlanAnalysis] = field(default_factory=list)
     invalid_plans: list[PlanAnalysis] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def has_valid_plan(self) -> bool:
@@ -278,27 +297,64 @@ def find_valid_plans(client: HistoryExpression, repository: Repository,
                     # reuse the verdict without re-walking the plan.
                     return PlanAnalysis(plan, (known,),
                                         SecurityReport.skipped_report())
-        analysis = analyze_plan(client, plan, repository, location,
-                                cache=cache, prune=prune)
+        tel = _telemetry.active()
+        if tel is None:
+            analysis = analyze_plan(client, plan, repository, location,
+                                    cache=cache, prune=prune)
+        else:
+            start = perf_counter()
+            analysis = analyze_plan(client, plan, repository, location,
+                                    cache=cache, prune=prune)
+            tel.metrics.histogram("planner.analyze_seconds").observe(
+                perf_counter() - start)
         if prune:
             for check in analysis.compliance:
                 if not check.compliant:
                     bad_bindings[(check.request, check.location)] = check
         return analysis
 
-    if parallel is not None and parallel > 1:
-        with ThreadPoolExecutor(max_workers=parallel) as pool:
-            analyses = list(pool.map(analyse, plans))
-    else:
-        analyses = map(analyse, plans)
-
-    result = PlannerResult()
-    for analysis in analyses:
-        if analysis.valid:
-            result.valid_plans.append(analysis)
+    def collect() -> PlannerResult:
+        if parallel is not None and parallel > 1:
+            with ThreadPoolExecutor(max_workers=parallel) as pool:
+                analyses = list(pool.map(analyse, plans))
         else:
-            result.invalid_plans.append(analysis)
-    return result
+            analyses = map(analyse, plans)
+
+        result = PlannerResult()
+        pruned = 0
+        for analysis in analyses:
+            if analysis.security.skipped:
+                pruned += 1
+            if analysis.valid:
+                result.valid_plans.append(analysis)
+            else:
+                result.invalid_plans.append(analysis)
+        result.metrics = {
+            "plans_analyzed": (len(result.valid_plans)
+                               + len(result.invalid_plans)),
+            "plans_valid": len(result.valid_plans),
+            "plans_pruned": pruned,
+            "memo_hits": cache.hits if cache is not None else 0,
+            "memo_misses": cache.misses if cache is not None else 0,
+            "distinct_bindings": len(cache) if cache is not None else 0,
+        }
+        return result
+
+    tel = _telemetry.active()
+    if tel is None:
+        return collect()
+    with tel.tracer.span("planner.find_valid_plans",
+                         location=location) as span:
+        result = collect()
+        span.set(**result.metrics)
+        metrics = tel.metrics
+        metrics.counter("planner.plans",
+                        verdict="valid").inc(len(result.valid_plans))
+        metrics.counter("planner.plans",
+                        verdict="invalid").inc(len(result.invalid_plans))
+        metrics.counter("planner.plans_pruned").inc(
+            result.metrics["plans_pruned"])
+        return result
 
 
 def unfailing_in_product(client: HistoryExpression, plan: Plan,

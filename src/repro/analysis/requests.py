@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.syntax import HistoryExpression, Request, requests_of
+from repro.observability.cache_stats import track_cache
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,9 @@ def extract_requests(term: HistoryExpression) -> tuple[RequestInfo, ...]:
     services once per candidate plan, and terms are immutable.
     """
     return tuple(RequestInfo.of(node) for node in requests_of(term))
+
+
+track_cache("analysis.extract_requests", extract_requests)
 
 
 def request_tree(term: HistoryExpression) -> RequestTree:

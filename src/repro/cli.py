@@ -23,6 +23,11 @@ Commands::
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
     repro explain NETWORK.toml CLIENT     # narrate each candidate plan
     repro dot NETWORK.toml NAME           # policy automaton / contract dot
+    repro trace NETWORK.toml [--out F]    # verify + simulate, emit spans
+
+``repro --stats <command> …`` enables telemetry for the run and prints
+the metrics table (counters, timers, cache hit rates) afterwards; the
+``REPRO_TELEMETRY`` environment variable does the same for every run.
 
 Exit status: 0 on success/verified, 1 on a negative verdict, 2 on usage
 or input errors.
@@ -37,6 +42,7 @@ from pathlib import Path
 
 from repro.core.compliance import check_compliance
 from repro.core.errors import ReproError
+from repro.observability import runtime as _telemetry
 from repro.core.syntax import HistoryExpression
 from repro.core.wellformed import check_well_formed
 from repro.analysis.requests import extract_requests
@@ -194,6 +200,32 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0 if any_valid else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Verify, simulate, and emit the span tree of the whole run."""
+    network = load_network(args.network)
+    with _telemetry.telemetry_session() as tel:
+        verdict = verify_network(network.clients, network.repository,
+                                 max_plans=args.max_plans)
+        if not verdict.verified:
+            print(verdict.report())
+            return 1
+        plans = verdict.plan_vector()
+        configuration = Configuration.of(*(
+            Component.client(location, term)
+            for location, term in network.clients.items()))
+        simulator = Simulator(configuration, plans, network.repository,
+                              seed=args.seed)
+        simulator.run(max_steps=args.max_steps)
+        if args.out:
+            Path(args.out).write_text(tel.tracer.export_jsonl() + "\n",
+                                      encoding="utf-8")
+            print(f"wrote {len(tel.tracer)} span(s) to {args.out}")
+        print(tel.tracer.render_tree())
+        print()
+        print(tel.metrics.render_table())
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     if args.name in network.policies:
@@ -210,6 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Secure and Unfailing Services — verification toolkit")
+    parser.add_argument("--stats", action="store_true",
+                        help="enable telemetry and print the metrics "
+                             "table after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="parse and validate a network")
@@ -250,6 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("network")
     dot.add_argument("name")
     dot.set_defaults(func=_cmd_dot)
+
+    trace = sub.add_parser(
+        "trace", help="verify + simulate with telemetry on; print the "
+                      "span tree (and write it as JSONL with --out)")
+    trace.add_argument("network")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--max-steps", type=int, default=10_000)
+    trace.add_argument("--max-plans", type=int, default=None)
+    trace.add_argument("--out", default=None,
+                       help="write the spans as JSONL to this file")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -258,6 +304,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.stats:
+            with _telemetry.telemetry_session() as tel:
+                status = args.func(args)
+                print()
+                print("-- metrics --")
+                print(tel.metrics.render_table())
+                caches = _telemetry.metrics_snapshot()["caches"]
+                for name, stats in sorted(caches.items()):
+                    print(f"cache {name}: {stats['hits']} hit(s), "
+                          f"{stats['misses']} miss(es), "
+                          f"{stats['currsize']} entries")
+            return status
         return args.func(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

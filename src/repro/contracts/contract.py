@@ -16,6 +16,8 @@ from repro.core.ready_sets import ReadySet, ready_sets
 from repro.core.semantics import step
 from repro.core.syntax import HistoryExpression, is_closed
 from repro.contracts.lts import LTS, build_lts
+from repro.observability.cache_stats import (cache_stats, reset_cache_stats,
+                                             track_cache)
 
 #: Entries kept in the shared projection / LTS caches.  Terms are immutable
 #: and structurally hashed, so caching is sound; the bound only trades
@@ -40,10 +42,27 @@ def _lts_of(projected: HistoryExpression) -> LTS[HistoryExpression, Label]:
     return build_lts(projected, step)
 
 
+track_cache("contracts.projection", _projection_of)
+track_cache("contracts.lts", _lts_of)
+
+#: The cache-stats names owned by this module (see
+#: :func:`contract_cache_stats`).
+_CACHE_NAMES = ("contracts.projection", "contracts.lts")
+
+
 def clear_contract_caches() -> None:
-    """Drop the shared projection and LTS caches (benchmark hygiene)."""
+    """Drop the shared projection and LTS caches (benchmark hygiene) and
+    rebaseline their telemetry adapters, so hit/miss counts read from a
+    clean slate afterwards."""
     _projection_of.cache_clear()
     _lts_of.cache_clear()
+    reset_cache_stats(*_CACHE_NAMES)
+
+
+def contract_cache_stats() -> dict[str, dict[str, int]]:
+    """Hits/misses/size of the projection and LTS caches since the last
+    :func:`clear_contract_caches` (or adapter reset)."""
+    return cache_stats(*_CACHE_NAMES)
 
 
 class Contract:

@@ -40,6 +40,7 @@ from repro.core.syntax import HistoryExpression
 from repro.contracts.contract import Contract
 from repro.contracts.lts import DEFAULT_STATE_LIMIT, LTS, build_lts
 from repro.core.errors import StateSpaceLimitError
+from repro.observability import runtime as _telemetry
 
 #: A product state ``⟨H1, H2⟩``.
 PairState = tuple[HistoryExpression, HistoryExpression]
@@ -158,6 +159,30 @@ def search_product(client: Contract, server: Contract,
     synchronisation depth, which keeps the returned counterexample
     shortest, exactly like :meth:`ProductAutomaton.counterexample`.
     """
+    tel = _telemetry.active()
+    if tel is None:
+        return _search(client, server, max_states)
+    with tel.tracer.span("compliance.search_product") as span:
+        result = _search(client, server, max_states)
+        depth = None if result.trace is None else len(result.trace) - 1
+        span.set(empty=result.empty, explored=result.explored,
+                 counterexample_depth=depth)
+        metrics = tel.metrics
+        outcome = "empty" if result.empty else "counterexample"
+        metrics.counter("compliance.searches", outcome=outcome).inc()
+        metrics.counter("compliance.explored_states").inc(result.explored)
+        # Every discovered state is enqueued except a stuck witness (the
+        # BFS returns the moment it finds one).
+        metrics.counter("compliance.enqueued_states").inc(
+            result.explored if result.empty else result.explored - 1)
+        if depth is not None:
+            metrics.histogram("compliance.early_exit_depth").observe(depth)
+        return result
+
+
+def _search(client: Contract, server: Contract,
+            max_states: int) -> ProductSearch:
+    """The uninstrumented BFS :func:`search_product` dispatches to."""
     client_lts = client.lts
     server_lts = server.lts
     initial: PairState = (client.term, server.term)

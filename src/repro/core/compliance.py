@@ -41,6 +41,8 @@ from repro.core.syntax import HistoryExpression
 from repro.contracts.contract import Contract
 from repro.contracts.product import (PairState, ProductAutomaton,
                                      build_product, search_product)
+from repro.observability import runtime as _telemetry
+from repro.observability.cache_stats import track_cache
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,23 @@ def check_compliance(client: HistoryExpression | Contract,
     explicit automaton first.  Both return the same verdict and a
     shortest trace; the test suite cross-validates them.
     """
+    tel = _telemetry.active()
+    if tel is None:
+        return _check(client, server, engine)
+    with tel.tracer.span("compliance.check", engine=engine) as span:
+        result = _check(client, server, engine)
+        span.set(compliant=result.compliant,
+                 explored_states=result.explored_states)
+        tel.metrics.counter(
+            "compliance.checks", engine=engine,
+            verdict="compliant" if result.compliant
+            else "noncompliant").inc()
+        return result
+
+
+def _check(client: HistoryExpression | Contract,
+           server: HistoryExpression | Contract,
+           engine: str) -> ComplianceResult:
     client_c = _as_contract(client)
     server_c = _as_contract(server)
     if engine == "onthefly":
@@ -160,6 +179,9 @@ def _ready_set_condition(h1: HistoryExpression,
 @lru_cache(maxsize=4096)
 def _cached_contract(term: HistoryExpression) -> Contract:
     return Contract(term)
+
+
+track_cache("compliance.contract_intern", _cached_contract)
 
 
 def _as_contract(value: HistoryExpression | Contract) -> Contract:

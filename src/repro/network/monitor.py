@@ -18,11 +18,19 @@ from dataclasses import dataclass
 from repro.core.actions import HistoryLabel
 from repro.core.errors import SecurityViolationError
 from repro.core.validity import History, ValidityMonitor
+from repro.observability import runtime as _telemetry
 
 
 @dataclass
 class MonitorStatistics:
-    """Counters describing the work a monitor performed."""
+    """Counters describing the work a monitor performed.
+
+    Kept for per-instance inspection; when telemetry is enabled the same
+    quantities also land in the process registry
+    (``monitor.labels{kind=…}``, ``monitor.aborts``) and on the
+    monitor's span as framing/event records, so whole-run dashboards do
+    not have to collect statistics objects by hand.
+    """
 
     labels_observed: int = 0
     events_checked: int = 0
@@ -37,29 +45,63 @@ class ReferenceMonitor:
     :meth:`observe`; the monitor raises :class:`SecurityViolationError`
     (and counts the abort) if the extension would violate an active
     policy.
+
+    With telemetry enabled each monitor opens a ``monitor.session`` span
+    (nested under the caller's current span, e.g. a simulated session)
+    and records every observed label as a point event on it; the span is
+    closed by :meth:`finish` or at the first abort.
     """
 
     def __init__(self) -> None:
         self._monitor = ValidityMonitor()
         self._history = History()
         self.statistics = MonitorStatistics()
+        tel = _telemetry.active()
+        self._span = (tel.tracer.start_span("monitor.session")
+                      if tel is not None else None)
 
     @property
     def history(self) -> History:
         """The (valid) history observed so far."""
         return self._history
 
+    def finish(self) -> None:
+        """Close the monitor's telemetry span (no-op when disabled)."""
+        if self._span is not None:
+            self._span.set(labels_observed=self.statistics.labels_observed,
+                           aborts=self.statistics.aborts)
+            tel = _telemetry.active()
+            if tel is not None:
+                tel.tracer.end_span(self._span)
+            self._span = None
+
     def observe(self, label: HistoryLabel) -> None:
         """Check and record one label; raises on violation."""
-        from repro.core.actions import Event, FrameOpen
+        from repro.core.actions import Event, FrameClose, FrameOpen
 
         self.statistics.labels_observed += 1
         if isinstance(label, Event):
             self.statistics.events_checked += 1
+            kind = "event"
         elif isinstance(label, FrameOpen):
             self.statistics.framings_opened += 1
+            kind = "framing_open"
+        elif isinstance(label, FrameClose):
+            kind = "framing_close"
+        else:
+            kind = "label"
+        tel = _telemetry.active()
+        if tel is not None:
+            tel.metrics.counter("monitor.labels", kind=kind).inc()
+            if self._span is not None:
+                self._span.add_event(kind, label=str(label))
         if not self._monitor.can_extend(label):
             self.statistics.aborts += 1
+            if tel is not None:
+                tel.metrics.counter("monitor.aborts").inc()
+                if self._span is not None:
+                    self._span.add_event("abort", label=str(label))
+            self.finish()
             raise SecurityViolationError(
                 policy=dict(self._monitor.active_policies()),
                 history=self._history,

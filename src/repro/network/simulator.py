@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.core.actions import Event, FrameClose, FrameOpen
 from repro.core.errors import ReproError, SecurityViolationError
 from repro.core.plans import Plan, PlanVector
 from repro.core.validity import History, first_invalid_prefix, is_valid
@@ -26,6 +27,7 @@ from repro.network.config import Configuration
 from repro.network.repository import Repository
 from repro.network.semantics import (NetworkTransition, network_transitions,
                                      stuck_components)
+from repro.observability import runtime as _telemetry
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,12 @@ class Simulator:
         self.monitored = monitored
         self.log = TraceLog()
         self._random = random.Random(seed)
+        # Per-component telemetry spans: a lazily opened root span per
+        # component, with a stack of open session spans under it (session
+        # opens push, closes pop; communications and framings become
+        # point events on the innermost open session).
+        self._component_spans: dict[int, object] = {}
+        self._session_stacks: dict[int, list] = {}
 
     # -- inspection ---------------------------------------------------------
 
@@ -116,6 +124,85 @@ class Simulator:
         self.log.records.append(TraceRecord(len(self.log.records),
                                             transition))
         self.configuration = transition.successor
+        tel = _telemetry.active()
+        if tel is not None:
+            self._record_transition(tel, transition)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _record_transition(self, tel, transition: NetworkTransition) -> None:
+        """Mirror one fired transition into the span tree and registry."""
+        index = transition.component
+        step_index = len(self.log.records) - 1
+        tel.metrics.counter("simulator.steps", rule=transition.rule).inc()
+
+        root = self._component_spans.get(index)
+        if root is None:
+            location = (transition.location
+                        or f"component-{index}")
+            root = tel.tracer.start_span("simulator.component",
+                                         parent=None,
+                                         component=index,
+                                         location=location)
+            self._component_spans[index] = root
+            self._session_stacks[index] = []
+        stack = self._session_stacks[index]
+        current = stack[-1] if stack else root
+
+        rule = transition.rule
+        if rule == "open":
+            span = tel.tracer.start_span(
+                "simulator.session", parent=current,
+                request=getattr(transition.label, "request", None),
+                opened_at_step=step_index)
+            stack.append(span)
+            tel.metrics.counter("simulator.sessions_opened").inc()
+        elif rule == "close":
+            if stack:
+                span = stack.pop()
+                span.set(closed_at_step=step_index)
+                tel.tracer.end_span(span)
+            tel.metrics.counter("simulator.sessions_closed").inc()
+        elif rule == "synch":
+            current.add_event("communication", step=step_index,
+                              channel=transition.channel)
+            tel.metrics.counter("simulator.communications").inc()
+        elif rule in ("access", "commit"):
+            for label in transition.appends:
+                if isinstance(label, FrameOpen):
+                    current.add_event("framing_open", step=step_index,
+                                      policy=str(label.policy))
+                elif isinstance(label, FrameClose):
+                    current.add_event("framing_close", step=step_index,
+                                      policy=str(label.policy))
+                elif isinstance(label, Event):
+                    current.add_event("access", step=step_index,
+                                      event=str(label))
+        # Framing labels appended by open/close rules ride along too.
+        if rule in ("open", "close"):
+            target = stack[-1] if stack else root
+            for label in transition.appends:
+                if isinstance(label, FrameOpen):
+                    target.add_event("framing_open", step=step_index,
+                                     policy=str(label.policy))
+                elif isinstance(label, FrameClose):
+                    target.add_event("framing_close", step=step_index,
+                                     policy=str(label.policy))
+
+    def _close_spans(self, tel) -> None:
+        """Finish every span still open (end of a run; sessions left open
+        by an aborted or truncated run are marked)."""
+        for index, stack in self._session_stacks.items():
+            while stack:
+                span = stack.pop()
+                span.set(left_open=True)
+                tel.tracer.end_span(span)
+        for index, root in self._component_spans.items():
+            root.set(steps=len(self.log.records),
+                     terminated=self.configuration[index].is_terminated())
+            tel.tracer.end_span(root)
+        self._component_spans.clear()
+        self._session_stacks.clear()
 
     def fire_matching(self, predicate: Callable[[NetworkTransition], bool]
                       ) -> NetworkTransition:
@@ -151,16 +238,35 @@ class Simulator:
         In monitored mode a run that leaves a component security-stuck
         raises :class:`SecurityViolationError` — the monitor aborted it.
         """
-        for _ in range(max_steps):
-            options = self.available()
-            if not options:
-                break
-            chosen = (scheduler(options) if scheduler is not None
-                      else self._random.choice(options))
-            self.fire(chosen)
-        if self.monitored:
-            self._raise_if_monitor_aborted()
-        return self.log
+        tel = _telemetry.active()
+        if tel is None:
+            for _ in range(max_steps):
+                options = self.available()
+                if not options:
+                    break
+                chosen = (scheduler(options) if scheduler is not None
+                          else self._random.choice(options))
+                self.fire(chosen)
+            if self.monitored:
+                self._raise_if_monitor_aborted()
+            return self.log
+        with tel.tracer.span("simulator.run",
+                             monitored=self.monitored) as span:
+            try:
+                for _ in range(max_steps):
+                    options = self.available()
+                    if not options:
+                        break
+                    chosen = (scheduler(options) if scheduler is not None
+                              else self._random.choice(options))
+                    self.fire(chosen)
+                if self.monitored:
+                    self._raise_if_monitor_aborted()
+            finally:
+                self._close_spans(tel)
+                span.set(steps=len(self.log),
+                         terminated=self.is_terminated())
+            return self.log
 
     def _raise_if_monitor_aborted(self) -> None:
         from repro.network.semantics import classify_stuckness

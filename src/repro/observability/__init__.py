@@ -1,0 +1,38 @@
+"""Unified instrumentation: metrics, tracing spans, cache statistics.
+
+The pipeline's stages — projection, on-the-fly product emptiness, plan
+synthesis, security model checking, simulation, the reference monitor —
+all report into one process-wide telemetry scope:
+
+* :class:`MetricsRegistry` — counters, gauges, histogram timers with
+  labelled children and a JSON-friendly :meth:`~MetricsRegistry.snapshot`;
+* :class:`Tracer` — nested spans with attributes, point events, JSONL
+  export and a human-readable tree (``repro trace`` prints one);
+* :mod:`~repro.observability.cache_stats` — delta views over the
+  ``lru_cache`` layers (contract projection/LTS, request extraction).
+
+Telemetry is **off by default** and the disabled fast path costs one
+``runtime.active()`` check per instrumented region — no spans, no
+counters, no allocations.  Enable it with ``REPRO_TELEMETRY=1``,
+:func:`enable`, or the scoped :func:`telemetry_session`.
+"""
+
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricsRegistry, render_key)
+from repro.observability.tracing import Span, Tracer, load_jsonl
+from repro.observability.cache_stats import (CacheStatsAdapter, cache_stats,
+                                             reset_cache_stats, track_cache,
+                                             tracked_caches)
+from repro.observability.runtime import (Telemetry, active, default_scope,
+                                         disable, enable, enabled,
+                                         get_registry, get_tracer,
+                                         metrics_snapshot, telemetry_session)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_key",
+    "Span", "Tracer", "load_jsonl",
+    "CacheStatsAdapter", "cache_stats", "reset_cache_stats", "track_cache",
+    "tracked_caches",
+    "Telemetry", "active", "default_scope", "disable", "enable", "enabled",
+    "get_registry", "get_tracer", "metrics_snapshot", "telemetry_session",
+]

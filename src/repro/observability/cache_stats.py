@@ -1,0 +1,92 @@
+"""Adapters exposing ``functools.lru_cache`` statistics to telemetry.
+
+The contract/LTS/request layers memoise through module-level
+``lru_cache``s; those already count hits and misses internally
+(``cache_info()``), but the counters are cumulative for the process
+lifetime.  A :class:`CacheStatsAdapter` wraps one cached function and
+adds a *baseline*, so :func:`cache_stats` reports counts **since the
+last reset** — which is what a benchmark run or a CLI invocation wants
+to see — while never touching the hot path (the adapter only reads
+``cache_info()`` when asked).
+
+Caches self-register at definition site via :func:`track_cache`;
+``repro.contracts.clear_contract_caches()`` clears its caches *and*
+rebaselines their adapters, so tests can assert clean-slate counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_ADAPTERS: dict[str, "CacheStatsAdapter"] = {}
+
+
+class CacheStatsAdapter:
+    """Delta-view over one ``lru_cache``-decorated function."""
+
+    __slots__ = ("name", "_fn", "_base_hits", "_base_misses")
+
+    def __init__(self, name: str, fn: Callable) -> None:
+        self.name = name
+        self._fn = fn
+        self._base_hits = 0
+        self._base_misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hits/misses since the last :meth:`reset`, plus live size."""
+        info = self._fn.cache_info()
+        return {"hits": info.hits - self._base_hits,
+                "misses": info.misses - self._base_misses,
+                "currsize": info.currsize,
+                "maxsize": info.maxsize}
+
+    def reset(self) -> None:
+        """Rebaseline: subsequent :meth:`stats` start from zero.
+
+        Call *after* ``cache_clear()`` as well — clearing zeroes the
+        underlying ``cache_info`` counters, so stale baselines would
+        otherwise go negative.
+        """
+        info = self._fn.cache_info()
+        self._base_hits = info.hits
+        self._base_misses = info.misses
+
+    def clear(self) -> None:
+        """Drop the cache contents and rebaseline in one step."""
+        self._fn.cache_clear()
+        self._base_hits = 0
+        self._base_misses = 0
+
+
+def track_cache(name: str, fn: Callable) -> Callable:
+    """Register *fn* (an ``lru_cache`` wrapper) under *name*; returns
+    *fn* so call sites can wrap a definition in place.  Re-registering a
+    name replaces the adapter (module reloads)."""
+    _ADAPTERS[name] = CacheStatsAdapter(name, fn)
+    return fn
+
+
+def adapter(name: str) -> CacheStatsAdapter:
+    """The adapter registered under *name* (KeyError if absent)."""
+    return _ADAPTERS[name]
+
+
+def cache_stats(*names: str) -> dict[str, dict[str, int]]:
+    """Statistics for the named caches (all tracked caches by default)."""
+    selected = names if names else tuple(_ADAPTERS)
+    return {name: _ADAPTERS[name].stats() for name in selected
+            if name in _ADAPTERS}
+
+
+def reset_cache_stats(*names: str) -> None:
+    """Rebaseline the named adapters (all of them by default)."""
+    selected = names if names else tuple(_ADAPTERS)
+    for name in selected:
+        found = _ADAPTERS.get(name)
+        if found is not None:
+            found.reset()
+
+
+def tracked_caches() -> tuple[str, ...]:
+    """The names of every registered cache, sorted."""
+    return tuple(sorted(_ADAPTERS))

@@ -1,0 +1,194 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of the instrumentation layer (the
+:mod:`repro.observability.tracing` spans are the structural half).  It
+deliberately mirrors the shape of the Prometheus client — named metrics
+with labelled children — without any exporter machinery: everything the
+pipeline records is answered from process memory via :meth:`snapshot`
+and rendered with :meth:`render_table`.
+
+Metrics are keyed by ``(name, sorted label items)``; asking for the same
+metric twice returns the same object, so hot paths can hoist the lookup
+out of their loops and pay one attribute increment per observation.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+#: A label key: the metric name plus its sorted ``(key, value)`` pairs.
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def render_key(key: MetricKey) -> str:
+    """``name{k=v,...}`` — the canonical flat spelling of a metric key."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins; :meth:`high_water` keeps
+    the maximum instead)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def high_water(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A streaming summary of observations: count/total/min/max/mean.
+
+    Doubles as a wall-clock timer via :meth:`time` (observations in
+    seconds), which is how the pipeline prices per-plan analyses and
+    per-binding compliance checks.
+    """
+
+    __slots__ = ("key", "count", "total", "min", "max")
+
+    def __init__(self, key: MetricKey) -> None:
+        self.key = key
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(perf_counter() - start)
+
+    def summary(self) -> dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "mean": self.mean}
+
+
+class MetricsRegistry:
+    """A process- or session-scoped family of named metrics.
+
+    ``registry.counter("compliance.explored_states")`` returns the same
+    :class:`Counter` on every call; label keywords create independent
+    children (``counter("planner.plans", verdict="valid")``).
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, Counter] = {}
+        self._gauges: dict[MetricKey, Gauge] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+
+    # -- metric factories ---------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(key)
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(key)
+        return metric
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(key)
+        return metric
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as plain JSON-serialisable dicts
+        keyed by the flat ``name{labels}`` spelling."""
+        return {
+            "counters": {render_key(key): metric.value
+                         for key, metric in sorted(self._counters.items())},
+            "gauges": {render_key(key): metric.value
+                       for key, metric in sorted(self._gauges.items())},
+            "histograms": {render_key(key): metric.summary()
+                           for key, metric in
+                           sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh registry without re-registering)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def render_table(self) -> str:
+        """A fixed-width human-readable table of the snapshot (what the
+        CLI prints under ``--stats``)."""
+        rows: list[tuple[str, str]] = []
+        for key, counter in sorted(self._counters.items()):
+            rows.append((render_key(key), str(counter.value)))
+        for key, gauge in sorted(self._gauges.items()):
+            rows.append((render_key(key), f"{gauge.value:g}"))
+        for key, histogram in sorted(self._histograms.items()):
+            summary = histogram.summary()
+            rows.append((render_key(key),
+                         f"n={summary['count']} total={summary['total']:.6f}"
+                         f" mean={summary['mean']:.6f}"))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}"
+                         for name, value in rows)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))

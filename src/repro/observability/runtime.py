@@ -1,0 +1,130 @@
+"""The process-wide telemetry switch, default registry, and tracer.
+
+Instrumented hot paths are gated on one cheap call::
+
+    tel = runtime.active()
+    if tel is not None:
+        tel.metrics.counter("...").inc()
+
+``active()`` returns ``None`` while telemetry is disabled (the default),
+so a disabled pipeline pays one function call and one comparison per
+instrumented *region* — never per inner-loop iteration, and it allocates
+no spans at all (asserted by the fast-path tests via
+``Span.constructed``).
+
+Telemetry is enabled by :func:`enable`, by the ``REPRO_TELEMETRY``
+environment variable (any value except ``0``/``false``/empty), or
+scoped with the :func:`telemetry_session` context manager, which swaps
+in a fresh registry/tracer and restores the previous state on exit —
+the CLI's ``--stats``/``trace`` and the benchmark harness use the
+latter so runs never see each other's numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+
+
+class Telemetry:
+    """One enabled telemetry scope: a metrics registry plus a tracer."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+#: The process-default scope (used when enabling without an explicit one).
+_DEFAULT = Telemetry()
+
+#: The active scope, or None while telemetry is disabled.  Module-level so
+#: ``active()`` is a single global load.
+_ACTIVE: Telemetry | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").lower() not in (
+        "", "0", "false", "off", "no")
+
+
+if _env_enabled():
+    _ACTIVE = _DEFAULT
+
+
+def active() -> Telemetry | None:
+    """The active telemetry scope, or ``None`` when disabled — the only
+    check instrumented code performs on its fast path."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Is telemetry currently on?"""
+    return _ACTIVE is not None
+
+
+def enable(scope: Telemetry | None = None) -> Telemetry:
+    """Switch telemetry on (idempotent); returns the active scope."""
+    global _ACTIVE
+    _ACTIVE = scope if scope is not None else (_ACTIVE or _DEFAULT)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Switch telemetry off (recorded data stays readable via
+    :func:`default_scope`)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def default_scope() -> Telemetry:
+    """The process-default scope (whether or not it is active)."""
+    return _DEFAULT
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (default scope's when disabled)."""
+    return (_ACTIVE or _DEFAULT).metrics
+
+
+def get_tracer() -> Tracer:
+    """The active tracer (default scope's when disabled)."""
+    return (_ACTIVE or _DEFAULT).tracer
+
+
+@contextmanager
+def telemetry_session(scope: Telemetry | None = None
+                      ) -> Iterator[Telemetry]:
+    """Enable a fresh telemetry scope for the duration of the block.
+
+    The previous active scope (possibly none) is restored on exit, so
+    nested sessions and interleaved benchmark runs stay isolated.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    session = scope if scope is not None else Telemetry()
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous
+
+
+def metrics_snapshot(include_caches: bool = True) -> dict:
+    """The active scope's metrics snapshot, optionally merged with the
+    tracked ``lru_cache`` statistics (hits/misses/currsize per cache)."""
+    snapshot = get_registry().snapshot()
+    if include_caches:
+        from repro.observability.cache_stats import cache_stats
+        snapshot["caches"] = cache_stats()
+    return snapshot

@@ -161,6 +161,68 @@ class TestModuleFormat:
         assert "final configuration:" in out
 
 
+class TestTraceCommand:
+    def test_trace_prints_span_tree_and_metrics(self, network_file,
+                                                capsys):
+        assert main(["trace", network_file, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "planner.find_valid_plans" in out
+        assert "simulator.run" in out
+        assert "simulator.session" in out
+        assert "compliance.explored_states" in out
+
+    def test_trace_writes_jsonl(self, network_file, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        assert main(["trace", network_file, "--out",
+                     str(out_file)]) == 0
+        from repro.observability.tracing import load_jsonl
+        roots = load_jsonl(out_file.read_text())
+        names = set()
+        stack = list(roots)
+        while stack:
+            span = stack.pop()
+            names.add(span.name)
+            stack.extend(span.children)
+        # Plan synthesis and at least one simulated session are covered.
+        assert "planner.find_valid_plans" in names
+        assert "compliance.search_product" in names
+        assert "simulator.session" in names
+
+    def test_trace_unverifiable_network_fails(self, tmp_path, capsys):
+        path = tmp_path / "net.sus"
+        path.write_text("""
+client me = open r { !job . ?done }
+service mute = ?job
+""")
+        assert main(["trace", str(path)]) == 1
+
+    def test_trace_leaves_telemetry_disabled(self, network_file, capsys):
+        from repro.observability import runtime
+        assert main(["trace", network_file]) == 0
+        assert runtime.active() is None
+
+
+class TestStatsFlag:
+    def test_stats_prints_metrics_table(self, network_file, capsys):
+        assert main(["--stats", "verify", network_file]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "compliance.checks" in out
+        assert "cache contracts.lts:" in out
+
+    def test_stats_reports_simulation_counters(self, network_file,
+                                               capsys):
+        assert main(["--stats", "simulate", network_file,
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator.steps{rule=" in out
+        assert "simulator.sessions_opened" in out
+
+    def test_without_stats_no_metrics_table(self, network_file, capsys):
+        assert main(["verify", network_file]) == 0
+        assert "-- metrics --" not in capsys.readouterr().out
+
+
 class TestExplainCommand:
     def test_explain_narrates_all_plans(self, network_file, capsys):
         assert main(["explain", network_file, "me"]) == 0

@@ -1,0 +1,112 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, render_key
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_returns_same_child(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_create_independent_children(self):
+        registry = MetricsRegistry()
+        valid = registry.counter("plans", verdict="valid")
+        invalid = registry.counter("plans", verdict="invalid")
+        assert valid is not invalid
+        valid.inc(3)
+        assert invalid.value == 0
+        assert registry.counter("plans", verdict="valid").value == 3
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x=1, y=2)
+        b = registry.counter("m", y=2, x=1)
+        assert a is b
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        assert gauge.value == 7
+        gauge.high_water(3)
+        assert gauge.value == 7
+        gauge.high_water(11)
+        assert gauge.value == 11
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_summary_has_finite_bounds(self):
+        registry = MetricsRegistry()
+        summary = registry.histogram("empty").summary()
+        assert summary == {"count": 0, "total": 0.0, "min": 0.0,
+                           "max": 0.0, "mean": 0.0}
+
+    def test_time_context_manager_observes_once(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("timer")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.total >= 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_friendly_and_keyed_flat(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("checks", engine="onthefly").inc(2)
+        registry.gauge("frontier").set(10)
+        registry.histogram("seconds").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"checks{engine=onthefly}": 2}
+        assert snapshot["gauges"] == {"frontier": 10}
+        assert snapshot["histograms"]["seconds"]["count"] == 1
+        json.dumps(snapshot)  # must serialise
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot()["counters"] == {}
+
+    def test_render_key(self):
+        assert render_key(("name", ())) == "name"
+        assert (render_key(("name", (("a", "1"), ("b", "x"))))
+                == "name{a=1,b=x}")
+
+    def test_render_table_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("alpha").inc()
+        registry.gauge("beta").set(2)
+        registry.histogram("gamma").observe(3)
+        table = registry.render_table()
+        assert "alpha" in table and "beta" in table and "gamma" in table
+
+    def test_render_table_empty(self):
+        assert "no metrics" in MetricsRegistry().render_table()

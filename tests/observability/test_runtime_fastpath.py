@@ -1,0 +1,136 @@
+"""The no-op fast path and the runtime switch.
+
+The satellite guarantee of the instrumentation layer: with telemetry
+disabled (the default), the pipeline allocates **zero** spans — asserted
+through ``Span.constructed``, the process-global construction counter —
+and records no metrics; enabling it lights everything up without
+touching behaviour.
+"""
+
+import pytest
+
+from repro.core.syntax import external, internal, receive, send
+from repro.contracts.contract import Contract
+from repro.contracts.product import search_product
+from repro.core.compliance import check_compliance
+from repro.observability import runtime
+from repro.observability.tracing import Span
+
+
+@pytest.fixture()
+def contracts():
+    client = internal(("a", receive("x")), ("b", receive("x")))
+    server = external(("a", send("x")), ("b", send("x")))
+    return Contract(client), Contract(server)
+
+
+@pytest.fixture(autouse=True)
+def disabled_telemetry():
+    """Each test starts from the disabled default and restores it."""
+    previous = runtime.active()
+    runtime.disable()
+    yield
+    if previous is not None:
+        runtime.enable(previous)
+    else:
+        runtime.disable()
+
+
+class TestDisabledFastPath:
+    def test_search_product_constructs_zero_spans(self, contracts):
+        client, server = contracts
+        search_product(client, server)  # warm the LTS caches
+        before = Span.constructed
+        for _ in range(5):
+            result = search_product(client, server)
+        assert result.empty
+        assert Span.constructed == before, \
+            "disabled telemetry must not allocate spans in the search"
+
+    def test_check_compliance_constructs_zero_spans(self, contracts):
+        client, server = contracts
+        before = Span.constructed
+        assert check_compliance(client, server).compliant
+        assert Span.constructed == before
+
+    def test_default_registry_stays_empty(self, contracts):
+        client, server = contracts
+        runtime.default_scope().reset()
+        search_product(client, server)
+        assert len(runtime.default_scope().metrics) == 0
+
+    def test_active_is_none_when_disabled(self):
+        assert runtime.active() is None
+        assert not runtime.enabled()
+
+
+class TestEnabled:
+    def test_search_product_records_span_and_counters(self, contracts):
+        client, server = contracts
+        with runtime.telemetry_session() as tel:
+            result = search_product(client, server)
+            spans = tel.tracer.find("compliance.search_product")
+            assert len(spans) == 1
+            assert spans[0].attrs["explored"] == result.explored
+            snapshot = tel.metrics.snapshot()
+            assert (snapshot["counters"]["compliance.explored_states"]
+                    == result.explored)
+            assert (snapshot["counters"]["compliance.enqueued_states"]
+                    == result.explored)
+
+    def test_noncompliant_search_records_early_exit_depth(self):
+        client = send("go", send("go2", receive("never")))
+        server = receive("go", receive("go2"))
+        with runtime.telemetry_session() as tel:
+            result = search_product(Contract(client), Contract(server))
+            assert not result.empty
+            histogram = tel.metrics.histogram(
+                "compliance.early_exit_depth")
+            assert histogram.count == 1
+            assert histogram.max == len(result.trace) - 1
+            counters = tel.metrics.snapshot()["counters"]
+            assert (counters["compliance.enqueued_states"]
+                    == result.explored - 1)
+
+    def test_check_compliance_span_nests_search(self, contracts):
+        client, server = contracts
+        with runtime.telemetry_session() as tel:
+            check_compliance(client, server)
+            check_span = tel.tracer.find("compliance.check")[0]
+            assert [c.name for c in check_span.children] == [
+                "compliance.search_product"]
+            counters = tel.metrics.snapshot()["counters"]
+            key = "compliance.checks{engine=onthefly,verdict=compliant}"
+            assert counters[key] == 1
+
+
+class TestSessionScoping:
+    def test_sessions_are_isolated_and_restore_previous(self, contracts):
+        client, server = contracts
+        with runtime.telemetry_session() as outer:
+            search_product(client, server)
+            outer_count = len(outer.tracer)
+            with runtime.telemetry_session() as inner:
+                assert runtime.active() is inner
+                search_product(client, server)
+                assert len(inner.tracer) == 1
+            assert runtime.active() is outer
+            assert len(outer.tracer) == outer_count
+        assert runtime.active() is None
+
+    def test_enable_disable_roundtrip(self):
+        scope = runtime.enable()
+        assert runtime.enabled() and runtime.active() is scope
+        runtime.disable()
+        assert not runtime.enabled()
+
+    def test_metrics_snapshot_includes_cache_stats(self, contracts):
+        client, server = contracts
+        with runtime.telemetry_session():
+            check_compliance(client, server)
+            snapshot = runtime.metrics_snapshot()
+        assert "caches" in snapshot
+        assert "contracts.projection" in snapshot["caches"]
+        assert "contracts.lts" in snapshot["caches"]
+        for stats in snapshot["caches"].values():
+            assert {"hits", "misses", "currsize"} <= set(stats)

@@ -1,0 +1,160 @@
+"""Tests for tracing spans: nesting, export, and JSONL round-trip."""
+
+from repro.observability.tracing import Span, Tracer, load_jsonl
+
+
+class TestNesting:
+    def test_context_manager_nests_under_current(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.children == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [child.name for child in parent.children] == ["a", "b"]
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        with tracer.span("other"):
+            child = tracer.start_span("child", parent=root)
+        assert child.parent_id == root.span_id
+        tracer.end_span(child)
+        tracer.end_span(root)
+        assert root.duration >= child.duration >= 0.0
+
+    def test_durations_are_measured(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.end is not None
+        assert span.duration >= 0.0
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("s", engine="onthefly") as span:
+            span.set(explored=12)
+            span.add_event("communication", channel="Req")
+        assert span.attrs == {"engine": "onthefly", "explored": 12}
+        assert span.events == [{"name": "communication",
+                                "channel": "Req"}]
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        with tracer.span("y"):
+            pass
+        assert [span.name for span in tracer.find("x")] == ["x"]
+
+    def test_reset_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0 and tracer.roots() == []
+
+
+class TestConstructionCounter:
+    def test_every_span_is_counted(self):
+        before = Span.constructed
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert Span.constructed == before + 2
+
+
+class TestJsonlRoundTrip:
+    def _sample_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("planner.find_valid_plans", location="c1") as top:
+            top.set(plans_analyzed=4)
+            with tracer.span("compliance.check", engine="onthefly") as c:
+                c.set(compliant=True, explored_states=17)
+            with tracer.span("simulator.session", request="r3") as s:
+                s.add_event("communication", step=3, channel="Req")
+                s.add_event("framing_open", step=4, policy="phi")
+        return tracer
+
+    def test_round_trip_preserves_structure(self):
+        tracer = self._sample_tracer()
+        roots = load_jsonl(tracer.export_jsonl())
+        assert len(roots) == 1
+        top = roots[0]
+        assert top.name == "planner.find_valid_plans"
+        assert top.attrs["plans_analyzed"] == 4
+        assert [child.name for child in top.children] == [
+            "compliance.check", "simulator.session"]
+
+    def test_round_trip_preserves_attrs_events_durations(self):
+        tracer = self._sample_tracer()
+        originals = {span.span_id: span for span in tracer.spans}
+        for root in load_jsonl(tracer.export_jsonl()):
+            stack = [root]
+            while stack:
+                span = stack.pop()
+                original = originals[span.span_id]
+                assert span.attrs == original.attrs
+                assert span.events == original.events
+                assert abs(span.duration - original.duration) < 1e-9
+                stack.extend(span.children)
+
+    def test_export_is_one_json_object_per_line(self):
+        import json
+        tracer = self._sample_tracer()
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == len(tracer)
+        for line in lines:
+            record = json.loads(line)
+            assert {"span_id", "parent_id", "name", "attrs", "events",
+                    "start", "duration"} <= set(record)
+
+    def test_round_trip_twice_is_stable(self):
+        tracer = self._sample_tracer()
+        once = tracer.export_jsonl()
+        roots = load_jsonl(once)
+        # Re-export by hand from the reconstructed forest.
+        import json
+        flat = []
+
+        def walk(span):
+            flat.append(span.to_record())
+            for child in span.children:
+                walk(child)
+
+        for root in roots:
+            walk(root)
+        again = "\n".join(json.dumps(record, sort_keys=True, default=str)
+                          for record in flat)
+        assert {json.dumps(json.loads(line), sort_keys=True)
+                for line in once.splitlines()} == {
+            json.dumps(json.loads(line), sort_keys=True)
+            for line in again.splitlines()}
+
+    def test_empty_tracer_renders_placeholder(self):
+        tracer = Tracer()
+        assert tracer.export_jsonl() == ""
+        assert "no spans" in tracer.render_tree()
+
+
+class TestRenderTree:
+    def test_tree_shows_names_events_and_indentation(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child") as child:
+                child.add_event("access", event="@boom(1)")
+        text = tracer.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "· access" in text and "@boom(1)" in text
