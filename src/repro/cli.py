@@ -17,7 +17,8 @@ format (``.sus`` files; see :mod:`repro.lang.module`).
 
 Commands::
 
-    repro check NETWORK.{toml,sus}        # parse + well-formedness
+    repro check NETWORK.{toml,sus}        # parse + well-formedness + lint
+    repro lint NETWORK.sus [...]          # static diagnostics (SUS0xx)
     repro verify NETWORK.toml             # plan synthesis (Section 5)
     repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
@@ -29,8 +30,14 @@ Commands::
 the metrics table (counters, timers, cache hit rates) afterwards; the
 ``REPRO_TELEMETRY`` environment variable does the same for every run.
 
-Exit status: 0 on success/verified, 1 on a negative verdict, 2 on usage
-or input errors.
+Exit status (uniform across commands):
+
+* ``0`` — success: parsed/verified/compliant, or lint found nothing at
+  the failing threshold;
+* ``1`` — a negative verdict: verification or compliance failed, or
+  lint reported errors (warnings too under ``lint --strict``);
+* ``2`` — usage or input errors (unreadable file, parse error, unknown
+  name); the message goes to stderr as ``error: file:line:col: ...``.
 """
 
 from __future__ import annotations
@@ -41,12 +48,13 @@ import tomllib
 from pathlib import Path
 
 from repro.core.compliance import check_compliance
-from repro.core.errors import ReproError
+from repro.core.errors import ParseError, ReproError
 from repro.observability import runtime as _telemetry
 from repro.core.syntax import HistoryExpression
 from repro.core.wellformed import check_well_formed
 from repro.analysis.requests import extract_requests
 from repro.analysis.verification import verify_network
+from repro.lang.module import Module
 from repro.lang.parser import parse
 from repro.network.config import Component, Configuration
 from repro.network.repository import Repository
@@ -90,17 +98,45 @@ class NetworkFile:
         raise ReproError(f"no client or service named {name!r}")
 
 
+def load_module(path: str | Path) -> Module:
+    """Parse a network description into a :class:`Module`.
+
+    ``.toml`` files are read through the schema registry and wrapped in
+    a span-less module; everything else (conventionally ``.sus``) goes
+    through the surface-language parser, which records source spans for
+    every declaration.  Parse errors carry the file path so the CLI can
+    report ``error: file:line:col: message``.
+    """
+    if Path(path).suffix != ".toml":
+        from repro.lang.module import parse_module
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            return parse_module(source, path=str(path))
+        except ParseError as error:
+            error.path = str(path)
+            raise
+    network = _load_toml(Path(path))
+    return Module(policies=network.policies, clients=network.clients,
+                  services=network.services, path=str(path))
+
+
 def load_network(path: str | Path) -> NetworkFile:
     """Parse a network description: TOML, or the surface-language module
     format (any non-``.toml`` extension, conventionally ``.sus``)."""
     if Path(path).suffix != ".toml":
-        from repro.lang.module import parse_module
-        with open(path, "r", encoding="utf-8") as handle:
-            module = parse_module(handle.read())
+        module = load_module(path)
         return NetworkFile(module.policies, module.services,
                            module.clients)
+    return _load_toml(Path(path))
+
+
+def _load_toml(path: Path) -> NetworkFile:
     with open(path, "rb") as handle:
-        data = tomllib.load(handle)
+        try:
+            data = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as error:
+            raise ReproError(f"{path}: invalid TOML: {error}") from error
 
     policies: dict[str, Policy] = {}
     for name, spec in data.get("policies", {}).items():
@@ -126,11 +162,64 @@ def load_network(path: str | Path) -> NetworkFile:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    network = load_network(args.network)
-    for name, term in {**network.clients, **network.services}.items():
+    from repro.lint import Severity, lint_module
+    module = load_module(args.network)
+    for name, term in {**module.clients, **module.services}.items():
         check_well_formed(term)
         print(f"{name}: well formed")
+    diagnostics = lint_module(module, min_severity=Severity.ERROR)
+    for diagnostic in diagnostics:
+        print(diagnostic.format(module.path or str(args.network)),
+              file=sys.stderr)
+    if diagnostics:
+        print(f"{len(diagnostics)} error(s) — run `repro lint "
+              f"{args.network}` for the full diagnosis", file=sys.stderr)
+        return 1
     return 0
+
+
+def _parse_rule_codes(spec: str | None) -> list[str] | None:
+    if spec is None:
+        return None
+    codes = [code.strip().upper() for code in spec.split(",")]
+    return [code for code in codes if code]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (Severity, default_registry, lint_module,
+                            render_json, worst_severity)
+    registry = default_registry()
+    if args.list_rules:
+        for rule in registry.rules():
+            print(f"{rule.code}  {rule.name:<24} {rule.severity.label:<8} "
+                  f"{rule.description}")
+        return 0
+    if not args.networks:
+        raise ReproError("lint needs at least one module "
+                         "(or --list-rules)")
+    select = _parse_rule_codes(args.select)
+    ignore = _parse_rule_codes(args.ignore)
+    results: dict[str, list] = {}
+    for path in args.networks:
+        module = load_module(path)
+        results[str(path)] = lint_module(module, registry,
+                                         select=select, ignore=ignore)
+    everything = [d for diags in results.values() for d in diags]
+    if args.format == "json":
+        print(render_json(results, registry))
+    else:
+        counts = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+        for path, diagnostics in results.items():
+            for diagnostic in diagnostics:
+                print(diagnostic.format(path))
+                counts[diagnostic.severity] += 1
+        summary = ", ".join(
+            f"{count} {severity.label}(s)"
+            for severity, count in counts.items() if count) or "clean"
+        print(f"{len(results)} module(s) linted: {summary}")
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    worst = worst_severity(everything)
+    return 1 if worst is not None and worst >= threshold else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -247,9 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "table after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="parse and validate a network")
+    check = sub.add_parser("check", help="parse and validate a network "
+                                         "(error-severity lint included)")
     check.add_argument("network")
     check.set_defaults(func=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="run the SUS0xx static diagnostics over modules")
+    lint.add_argument("networks", nargs="*", metavar="NETWORK",
+                      help="module files to lint (.sus or .toml)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format: human text (default) or "
+                           "SARIF-style JSON")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on warnings, not just errors")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run exclusively "
+                           "(e.g. SUS011,SUS030)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     verify = sub.add_parser("verify", help="synthesise valid plans")
     verify.add_argument("network")
@@ -318,6 +426,8 @@ def main(argv: list[str] | None = None) -> int:
             return status
         return args.func(args)
     except (ReproError, OSError) as error:
+        # Uniform failure channel: diagnostics go to stderr, stdout
+        # stays machine-consumable (e.g. `lint --format json`).
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -74,14 +74,22 @@ class PlanError(ReproError):
 class ParseError(ReproError):
     """A surface-syntax term could not be parsed.
 
-    Carries the 1-based source position of the offending token.
+    Carries the 1-based source position of the offending token, and
+    optionally the path of the file being parsed (attached by whoever
+    read the file — the parser itself never knows it).
     """
 
-    def __init__(self, message: str, line: int, column: int) -> None:
+    def __init__(self, message: str, line: int, column: int,
+                 path: str | None = None) -> None:
         super().__init__(f"{line}:{column}: {message}")
         self.message = message
         self.line = line
         self.column = column
+        self.path = path
+
+    def __str__(self) -> str:
+        prefix = f"{self.path}:" if self.path else ""
+        return f"{prefix}{self.line}:{self.column}: {self.message}"
 
 
 class PolicyDefinitionError(ReproError):

@@ -29,6 +29,39 @@ SYMBOLS = ("++", "->", "@", "!", "?", ".", ";", ",", "(", ")", "{",
 
 
 @dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source region ``line:column – end_line:end_column``.
+
+    Lines and columns are 1-based, like the positions carried by
+    :class:`Token` and :class:`~repro.core.errors.ParseError`.  Spans are
+    attached to module declarations (:mod:`repro.lang.module`) and lint
+    diagnostics (:mod:`repro.lint`) so every finding can be reported as
+    ``file:line:col``.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @staticmethod
+    def of(token: "Token") -> "Span":
+        """The span covering exactly *token*."""
+        return Span(token.line, token.column,
+                    token.line, token.column + max(len(token.text), 1))
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both operands."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column),
+                  (other.end_line, other.end_column))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
 class Token:
     """One lexical token with its source position."""
 
@@ -36,6 +69,11 @@ class Token:
     text: str
     line: int
     column: int
+
+    @property
+    def span(self) -> Span:
+        """The source span of this token."""
+        return Span.of(self)
 
     def __str__(self) -> str:
         return f"{self.kind}({self.text!r})@{self.line}:{self.column}"

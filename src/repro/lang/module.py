@@ -58,7 +58,7 @@ from typing import Callable, Mapping
 from repro.core.errors import ParseError, ReproError
 from repro.core.syntax import HistoryExpression
 from repro.core.wellformed import check_well_formed
-from repro.lang.lexer import Token, tokenize
+from repro.lang.lexer import Span, Token, tokenize
 from repro.lang.parser import _Parser
 from repro.network.repository import Repository
 from repro.policies.usage_automata import Policy
@@ -80,13 +80,54 @@ def default_schemas() -> dict[str, Callable]:
     }
 
 
+@dataclass(frozen=True)
+class Declaration:
+    """One top-level declaration of a module, with its source span.
+
+    ``kind`` is ``policy``, ``client``, ``service``, ``program-client``
+    or ``program-service``; ``span`` covers the declared name; ``value``
+    is the parsed :class:`~repro.policies.usage_automata.Policy` or
+    history expression.  ``tokens`` are the body tokens of the
+    declaration (the ``=`` and the terminating EOF excluded), kept so
+    downstream tooling — the lint engine in particular — can locate
+    sub-term positions inside the body.
+    """
+
+    kind: str
+    name: str
+    span: Span | None
+    value: object = None
+    tokens: tuple[Token, ...] = ()
+
+    @property
+    def is_policy(self) -> bool:
+        return self.kind == "policy"
+
+    @property
+    def is_client(self) -> bool:
+        return self.kind in ("client", "program-client")
+
+    @property
+    def is_service(self) -> bool:
+        return self.kind in ("service", "program-service")
+
+
 @dataclass
 class Module:
-    """A parsed module: named policies, clients and services."""
+    """A parsed module: named policies, clients and services.
+
+    ``declarations`` preserves *every* declaration in source order — a
+    name declared twice appears twice here even though the dict keeps
+    only the later value — together with its source span, so tooling can
+    report positions and detect shadowing.  Programmatically-built
+    modules may leave it empty.
+    """
 
     policies: dict[str, Policy] = field(default_factory=dict)
     clients: dict[str, HistoryExpression] = field(default_factory=dict)
     services: dict[str, HistoryExpression] = field(default_factory=dict)
+    declarations: list[Declaration] = field(default_factory=list)
+    path: str | None = None
 
     @property
     def repository(self) -> Repository:
@@ -101,6 +142,15 @@ class Module:
             return self.services[name]
         raise ReproError(f"no client or service named {name!r}")
 
+    def declaration(self, name: str,
+                    kind: str | None = None) -> Declaration | None:
+        """The *last* declaration of *name* (the one the dicts keep),
+        optionally restricted to a declaration kind."""
+        for decl in reversed(self.declarations):
+            if decl.name == name and (kind is None or decl.kind == kind):
+                return decl
+        return None
+
 
 #: Keywords that start a top-level declaration.
 _DECL_KEYWORDS = {"policy", "client", "service"}
@@ -110,11 +160,16 @@ _PROGRAM_KEYWORD = "program"
 
 
 def parse_module(source: str,
-                 schemas: Mapping[str, Callable] | None = None) -> Module:
-    """Parse a module, validating every declared term."""
+                 schemas: Mapping[str, Callable] | None = None,
+                 path: str | None = None) -> Module:
+    """Parse a module, validating every declared term.
+
+    *path* (purely informational) is recorded on the module so error
+    reporting and lint diagnostics can print ``file:line:col``.
+    """
     registry = dict(schemas) if schemas is not None else default_schemas()
     tokens = tokenize(source)
-    module = Module()
+    module = Module(path=path)
 
     index = 0
     while tokens[index].kind != "EOF":
@@ -144,8 +199,12 @@ def parse_module(source: str,
                     and _starts_declaration(tokens, end):
                 break
             end += 1
-        body = list(tokens[index:end]) + [_eof_like(tokens[end])]
-        _parse_declaration(module, registry, kind, name_token.text, body)
+        body = tuple(tokens[index:end]) + (_eof_like(tokens[end]),)
+        value = _parse_declaration(module, registry, kind, name_token.text,
+                                   list(body))
+        module.declarations.append(
+            Declaration(kind, name_token.text, name_token.span, value,
+                        body[1:-1]))
         index = end
     return module
 
@@ -175,7 +234,10 @@ def _eof_like(token: Token) -> Token:
 
 
 def _parse_declaration(module: Module, registry, kind: str, name: str,
-                       body: list[Token]) -> None:
+                       body: list[Token]) -> object:
+    """Parse one declaration body into *module*; returns the parsed
+    value (a policy or a history expression) for the declaration
+    record."""
     if kind.startswith("program-"):
         from repro.lam.infer import extract
         from repro.lam.parser import _LamParser
@@ -192,13 +254,14 @@ def _parse_declaration(module: Module, registry, kind: str, name: str,
             module.clients[name] = effect
         else:
             module.services[name] = effect
-        return
+        return effect
     parser = _ModuleParser(body, module.policies)
     parser.expect_equals()
     if kind == "policy":
-        module.policies[name] = parser.policy_value(registry)
+        policy = parser.policy_value(registry)
+        module.policies[name] = policy
         parser.expect("EOF")
-        return
+        return policy
     term = parser.expr()
     parser.expect("EOF")
     check_well_formed(term)
@@ -206,6 +269,7 @@ def _parse_declaration(module: Module, registry, kind: str, name: str,
         module.clients[name] = term
     else:
         module.services[name] = term
+    return term
 
 
 class _ModuleParser(_Parser):

@@ -1,0 +1,56 @@
+"""``suslint`` — a diagnostic lint engine for modules, policies and
+contracts.
+
+The paper's central claim is that failures are catchable *statically*:
+compliance and security are decided before anything runs (Theorems 1
+and 2).  This package extends the same courtesy to specification
+mistakes: vacuous policies, doomed requests and dead choice branches
+are diagnosed on the parsed module, with ``file:line:col`` spans, rule
+codes (``SUS0xx``), severities and fix-it hints — before any product
+automaton is built.
+
+Public surface::
+
+    from repro.lint import lint_module, default_registry, Severity
+
+    diagnostics = lint_module(parse_module(source))
+    for diagnostic in diagnostics:
+        print(diagnostic.format("network.sus"))
+
+Rule groups (see each ``rules_*`` module):
+
+========  =======================  ========  ==============================
+code      name                     severity  catches
+========  =======================  ========  ==============================
+SUS001    unused-policy            warning   policy declared, never attached
+SUS002    duplicate-declaration    error     name shadowing an earlier decl
+SUS003    unservable-service       info      service no request can select
+SUS010    unreachable-state        warning   dead non-offending states
+SUS011    vacuous-policy           warning   offending states unreachable
+SUS012    overlapping-edges        info      unconditional nondeterminism
+SUS020    dead-external-branch     warning   inputs nobody can emit
+SUS030    doomed-request           error     no compliant service exists
+SUS031    unclosed-residual        error     unbalanced session/framing
+========  =======================  ========  ==============================
+"""
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import lint_module, worst_severity
+from repro.lint.registry import (DEFAULT_REGISTRY, Rule, RuleRegistry,
+                                 default_registry)
+from repro.lint.sarif import render_json, to_sarif
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_registry",
+    "lint_module",
+    "render_json",
+    "to_sarif",
+    "worst_severity",
+]

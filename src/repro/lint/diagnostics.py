@@ -1,0 +1,100 @@
+"""Lint diagnostics: what a rule reports and how it is rendered.
+
+A :class:`Diagnostic` couples a stable rule code (``SUS0xx``), a
+severity, a human-readable message, an optional source :class:`Span`
+(threaded from the lexer through :mod:`repro.lang.module` declarations)
+and an optional fix-it hint.  Diagnostics are plain values: the engine
+collects them, the CLI renders them as text or SARIF-lite JSON
+(:mod:`repro.lint.sarif`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.lang.lexer import Span
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally
+    (``severity >= Severity.WARNING``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """The lowercase spelling used in reports."""
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"error"``/``"warning"``/``"info"`` (case-insensitive)."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ReproError(
+                f"unknown severity {text!r} (expected error, warning or "
+                "info)") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``declaration`` names the module declaration the finding anchors to
+    (when any); ``span`` is the most precise source region known — the
+    offending sub-term when the rule can locate it, the declaration name
+    otherwise, or ``None`` for modules built programmatically.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    declaration: str | None = None
+    hint: str | None = None
+
+    def location(self, path: str | None = None) -> str:
+        """``path:line:col`` (each part only when known)."""
+        where = path or "<module>"
+        if self.span is None:
+            return where
+        return f"{where}:{self.span.line}:{self.span.column}"
+
+    def format(self, path: str | None = None) -> str:
+        """The canonical one-to-two-line text rendering."""
+        head = (f"{self.location(path)}: {self.severity.label} "
+                f"{self.code}: {self.message}")
+        if self.declaration:
+            head += f" [{self.declaration}]"
+        if self.hint:
+            head += f"\n    hint: {self.hint}"
+        return head
+
+    def to_json(self, path: str | None = None) -> dict:
+        """A flat JSON-friendly rendering (used by tests and tooling;
+        the SARIF-lite shape lives in :mod:`repro.lint.sarif`)."""
+        region = None
+        if self.span is not None:
+            region = {"startLine": self.span.line,
+                      "startColumn": self.span.column,
+                      "endLine": self.span.end_line,
+                      "endColumn": self.span.end_column}
+        return {"code": self.code,
+                "severity": self.severity.label,
+                "message": self.message,
+                "path": path,
+                "region": region,
+                "declaration": self.declaration,
+                "hint": self.hint}
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    """Stable report order: by position, then code."""
+    span = diagnostic.span
+    position = (span.line, span.column) if span is not None else (0, 0)
+    return (*position, diagnostic.code, diagnostic.message)

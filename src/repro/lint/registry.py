@@ -1,0 +1,153 @@
+"""The lint rule registry.
+
+A :class:`Rule` packages a stable code (``SUS0xx``), a kebab-case name,
+a default severity, a one-line description and the checker itself — a
+callable from a :class:`~repro.lint.context.LintContext` to an iterable
+of :class:`~repro.lint.diagnostics.Diagnostic`.
+
+Rules register themselves with the :func:`rule` decorator at import
+time; :func:`default_registry` imports the built-in rule modules once
+and returns the shared registry.  Registries support per-rule
+enable/disable plus one-shot ``select``/``ignore`` filters, which is
+what the CLI's ``--select``/``--ignore`` flags and ``check``'s
+errors-only pass use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.errors import ReproError
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: A rule checker: context in, diagnostics out.
+Checker = Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    check: Checker
+
+    def diagnostic(self, message: str, *, span=None, declaration=None,
+                   hint=None, severity: Severity | None = None) -> Diagnostic:
+        """A diagnostic carrying this rule's code (and, by default, its
+        severity) — the one constructor rule bodies should use."""
+        return Diagnostic(self.code,
+                          self.severity if severity is None else severity,
+                          message, span=span, declaration=declaration,
+                          hint=hint)
+
+
+class RuleRegistry:
+    """A mutable collection of rules with per-rule enablement."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._disabled: set[str] = set()
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, new: Rule) -> Rule:
+        if new.code in self._rules:
+            raise ReproError(f"lint rule code {new.code!r} registered twice")
+        if any(existing.name == new.name
+               for existing in self._rules.values()):
+            raise ReproError(f"lint rule name {new.name!r} registered twice")
+        self._rules[new.code] = new
+        return new
+
+    def rule(self, code: str, name: str, severity: Severity,
+             description: str) -> Callable[[Checker], Rule]:
+        """Decorator form of :meth:`register`::
+
+            @registry.rule("SUS001", "unused-policy", Severity.WARNING,
+                           "policy declared but never referenced")
+            def unused_policy(ctx):
+                ...
+        """
+        def wrap(check: Checker) -> Rule:
+            return self.register(Rule(code, name, severity, description,
+                                      check))
+        return wrap
+
+    # -- enablement ---------------------------------------------------------
+
+    def disable(self, code: str) -> None:
+        """Disable *code* for subsequent runs (unknown codes rejected)."""
+        self._resolve(code)
+        self._disabled.add(code)
+
+    def enable(self, code: str) -> None:
+        """Re-enable a previously :meth:`disable`-d rule."""
+        self._resolve(code)
+        self._disabled.discard(code)
+
+    def is_enabled(self, code: str) -> bool:
+        return code in self._rules and code not in self._disabled
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, code: str) -> Rule:
+        """The rule registered under *code* (:class:`ReproError` if
+        unknown)."""
+        return self._resolve(code)
+
+    def _resolve(self, code: str) -> Rule:
+        found = self._rules.get(code)
+        if found is None:
+            known = ", ".join(sorted(self._rules))
+            raise ReproError(f"unknown lint rule {code!r} (known: {known})")
+        return found
+
+    def rules(self, *, select: Iterable[str] | None = None,
+              ignore: Iterable[str] | None = None,
+              min_severity: Severity | None = None) -> tuple[Rule, ...]:
+        """The enabled rules, in code order, optionally narrowed to a
+        ``select`` set, minus an ``ignore`` set, at or above
+        ``min_severity``."""
+        wanted = (None if select is None
+                  else {self._resolve(code).code for code in select})
+        unwanted = (set() if ignore is None
+                    else {self._resolve(code).code for code in ignore})
+        picked = []
+        for code in sorted(self._rules):
+            if code in self._disabled or code in unwanted:
+                continue
+            if wanted is not None and code not in wanted:
+                continue
+            found = self._rules[code]
+            if min_severity is not None and found.severity < min_severity:
+                continue
+            picked.append(found)
+        return tuple(picked)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The process-wide registry the built-in rules attach to.
+DEFAULT_REGISTRY = RuleRegistry()
+
+_LOADED = False
+
+
+def default_registry() -> RuleRegistry:
+    """The registry holding all built-in rules (loaded on first use)."""
+    global _LOADED
+    if not _LOADED:
+        # Importing the rule modules registers their rules as a side
+        # effect; the flag keeps this idempotent and cheap.
+        from repro.lint import (rules_contracts, rules_lang,  # noqa: F401
+                                rules_network, rules_policies)
+        _LOADED = True
+    return DEFAULT_REGISTRY

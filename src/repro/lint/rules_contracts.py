@@ -1,0 +1,46 @@
+"""Contract-level lint rules: communication that can never happen.
+
+* ``SUS020 dead-external-branch`` — an input branch in a *session body*
+  whose channel no repository service can ever emit.  Computed on the
+  communication skeleton the projection ``H!`` keeps (access events,
+  framings and nested sessions are invisible to the enclosing session)
+  against the union of the services' projected outputs — the channels
+  that can ever appear in a service-side observable ready set.  An
+  input outside that set can synchronise with nobody, whichever service
+  the plan picks: the branch is dead in every plan.
+
+The rule deliberately does *not* flag extra inputs on the service side:
+the repository is open-ended (services "are always available for
+joining sessions" with arbitrary future clients), so a service offering
+more inputs than today's clients use is idiomatic, not a defect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import DEFAULT_REGISTRY as _REGISTRY
+
+
+@_REGISTRY.rule("SUS020", "dead-external-branch", Severity.WARNING,
+                "an external-choice input in a session body that no "
+                "repository service can ever emit")
+def dead_external_branch(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS020")
+    emittable = ctx.service_outputs
+    reported: set[tuple[str, str]] = set()
+    for decl, info in ctx.request_occurrences:
+        for channel in ctx.session_inputs(info.body):
+            if channel in emittable or (decl.name, channel) in reported:
+                continue
+            reported.add((decl.name, channel))
+            yield rule.diagnostic(
+                f"input ?{channel} in the request {info.request!r} body "
+                f"of {decl.name!r} is dead: no declared service ever "
+                f"emits !{channel}",
+                span=ctx.channel_span(decl, "?", channel) or decl.span,
+                declaration=decl.name,
+                hint="the branch can never be taken — remove it, or "
+                     f"publish a service that outputs !{channel}")

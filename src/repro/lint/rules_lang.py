@@ -1,0 +1,84 @@
+"""Language-level lint rules: declaration hygiene.
+
+* ``SUS001 unused-policy`` — a declared policy no term ever attaches.
+* ``SUS002 duplicate-declaration`` — a name redeclared in the same
+  namespace, silently shadowing the earlier declaration.
+* ``SUS003 unservable-service`` — a service no request of the module
+  could ever select (no session body is compliant with it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.syntax import policies_of
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import DEFAULT_REGISTRY as _REGISTRY
+
+
+@_REGISTRY.rule("SUS001", "unused-policy", Severity.WARNING,
+                "policy declared but never attached to a session or "
+                "framing")
+def unused_policy(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS001")
+    used: set[object] = set()
+    for _, term in ctx.terms():
+        used |= policies_of(term)
+    for decl in ctx.policy_declarations:
+        if decl.value in used:
+            continue
+        yield rule.diagnostic(
+            f"policy {decl.name!r} is declared but never used",
+            span=decl.span, declaration=decl.name,
+            hint=f"attach it with `open ... with {decl.name} {{ ... }}` or "
+                 f"`frame {decl.name} {{ ... }}`, or remove the declaration")
+
+
+@_REGISTRY.rule("SUS002", "duplicate-declaration", Severity.ERROR,
+                "a name redeclared in the same namespace shadows the "
+                "earlier declaration")
+def duplicate_declaration(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS002")
+    first_seen: dict[tuple[str, str], object] = {}
+    for decl in ctx.declarations:
+        # Policies live in their own namespace; clients, services and
+        # λ-programs share one (``Module.term`` resolves across both
+        # dicts, so a cross-kind clash is just as much a shadowing).
+        namespace = "policy" if decl.is_policy else "term"
+        key = (namespace, decl.name)
+        earlier = first_seen.get(key)
+        if earlier is None:
+            first_seen[key] = decl
+            continue
+        where = ("" if earlier.span is None
+                 else f" (first declared at {earlier.span})")
+        yield rule.diagnostic(
+            f"{decl.kind} {decl.name!r} shadows an earlier "
+            f"{earlier.kind} declaration of the same name{where}",
+            span=decl.span, declaration=decl.name,
+            hint="rename one of the declarations; only the later one is "
+                 "kept")
+
+
+@_REGISTRY.rule("SUS003", "unservable-service", Severity.INFO,
+                "no request in the module could select this service "
+                "(no session body is compliant with it)")
+def unservable_service(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS003")
+    bodies = [info.body for _, info in ctx.request_occurrences]
+    if not bodies:
+        return
+    for decl, term in ctx.terms():
+        if not decl.is_service:
+            continue
+        verdicts = [ctx.compliant(body, term) for body in bodies]
+        if any(verdict is not False for verdict in verdicts):
+            continue
+        yield rule.diagnostic(
+            f"service {decl.name!r} can serve no request of this module: "
+            f"none of the {len(bodies)} session bodies is compliant with "
+            "it",
+            span=decl.span, declaration=decl.name,
+            hint="the planner will never select it; adjust its contract "
+                 "or drop it from the repository")

@@ -1,0 +1,203 @@
+"""Policy-level lint rules: usage-automaton sanity.
+
+* ``SUS010 unreachable-state`` — a non-offending state no run can reach.
+* ``SUS011 vacuous-policy`` — no offending state is reachable under the
+  declared instantiation: the policy can never be violated, so framing
+  with it is dead weight (and usually a specification mistake).
+* ``SUS012 overlapping-edges`` — two unconditional edges from one state
+  on the same event with different targets (harmless nondeterminism at
+  run time, but usually an authoring slip).
+
+Reachability is decided on the automaton graph with a three-valued guard
+evaluation under the instantiated parameters: a guard that is *provably*
+false for every event (e.g. membership in an empty parameter set) kills
+its edge, anything unknown keeps it.  The over-approximation makes the
+unreachability verdicts sound: a state these rules call unreachable is
+unreachable under every trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Mapping
+
+from repro.policies.guards import (And, Compare, Guard, Not, Or, TrueGuard)
+from repro.policies.usage_automata import Policy, UsageAutomaton
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import DEFAULT_REGISTRY as _REGISTRY
+
+#: Sentinel for "value not statically known" in the three-valued guard
+#: evaluation.
+_UNKNOWN = object()
+
+
+def _term_value(term, env: Mapping[str, object]) -> object:
+    from repro.policies.guards import Const, Name
+    if isinstance(term, Const):
+        return term.constant
+    if isinstance(term, Name):
+        return env.get(term.name, _UNKNOWN)
+    return _UNKNOWN
+
+
+def guard_truth(guard: Guard, env: Mapping[str, object]) -> bool | None:
+    """Kleene evaluation of *guard* under the partial environment *env*
+    (policy parameters known, binders and quantified variables not):
+    ``True``/``False`` when decided, ``None`` when unknown."""
+    if isinstance(guard, TrueGuard):
+        return True
+    if isinstance(guard, Not):
+        inner = guard_truth(guard.operand, env)
+        return None if inner is None else not inner
+    if isinstance(guard, And):
+        left = guard_truth(guard.left, env)
+        right = guard_truth(guard.right, env)
+        if left is False or right is False:
+            return False
+        if left is True and right is True:
+            return True
+        return None
+    if isinstance(guard, Or):
+        left = guard_truth(guard.left, env)
+        right = guard_truth(guard.right, env)
+        if left is True or right is True:
+            return True
+        if left is False and right is False:
+            return False
+        return None
+    if isinstance(guard, Compare):
+        left = _term_value(guard.left, env)
+        right = _term_value(guard.right, env)
+        if left is not _UNKNOWN and right is not _UNKNOWN:
+            try:
+                return Compare._OPS[guard.op](left, right)
+            except TypeError:
+                # Mirrors Compare.evaluate: incomparable values never
+                # satisfy the guard.
+                return False
+        # Membership in a known empty collection is decidable even with
+        # an unknown left operand — the case that makes instantiations
+        # like ``blacklist(bl = {})`` provably vacuous.
+        if guard.op in ("in", "notin") and right is not _UNKNOWN:
+            try:
+                empty = len(right) == 0
+            except TypeError:
+                return None
+            if empty:
+                return guard.op == "notin"
+        return None
+    return None
+
+
+def viable_edges(automaton: UsageAutomaton,
+                 env: Mapping[str, object]):
+    """The edges whose guard is not provably false under *env*."""
+    return tuple(edge for edge in automaton.edges
+                 if guard_truth(edge.pattern.guard, env) is not False)
+
+
+def reachable_states(policy: Policy) -> frozenset[str]:
+    """States reachable from the initial one over viable edges."""
+    automaton = policy.automaton
+    env = policy.environment()
+    edges = viable_edges(automaton, env)
+    seen = {automaton.initial}
+    frontier = deque([automaton.initial])
+    while frontier:
+        state = frontier.popleft()
+        for edge in edges:
+            if edge.source == state and edge.target not in seen:
+                seen.add(edge.target)
+                frontier.append(edge.target)
+    return frozenset(seen)
+
+
+def _policies(ctx: LintContext):
+    for decl in ctx.policy_declarations:
+        if isinstance(decl.value, Policy):
+            yield decl, decl.value
+
+
+@_REGISTRY.rule("SUS010", "unreachable-state", Severity.WARNING,
+                "a non-offending automaton state no run can reach")
+def unreachable_state(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS010")
+    for decl, policy in _policies(ctx):
+        automaton = policy.automaton
+        reachable = reachable_states(policy)
+        dead = sorted(automaton.states - reachable - automaton.offending)
+        if not dead:
+            continue
+        yield rule.diagnostic(
+            f"policy {decl.name!r}: state(s) {', '.join(dead)} of "
+            f"automaton {automaton.name!r} are unreachable",
+            span=decl.span, declaration=decl.name,
+            hint="remove the states or fix the guards/edges leading to "
+                 "them")
+
+
+@_REGISTRY.rule("SUS011", "vacuous-policy", Severity.WARNING,
+                "no offending state is reachable: the policy can never "
+                "be violated")
+def vacuous_policy(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS011")
+    for decl, policy in _policies(ctx):
+        automaton = policy.automaton
+        if not automaton.offending:
+            offending = "declares no offending state"
+        elif reachable_states(policy) & automaton.offending:
+            continue
+        else:
+            offending = ("cannot reach its offending state(s) "
+                         + ", ".join(sorted(automaton.offending))
+                         + " under this instantiation")
+        yield rule.diagnostic(
+            f"policy {decl.name!r} is vacuous: automaton "
+            f"{automaton.name!r} {offending}",
+            span=decl.span, declaration=decl.name,
+            hint="every trace satisfies it — check the instantiation "
+                 "arguments (an empty blacklist?) or the automaton edges")
+
+
+@_REGISTRY.rule("SUS012", "overlapping-edges", Severity.INFO,
+                "two unconditional edges from one state on the same "
+                "event lead to different targets")
+def overlapping_edges(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS012")
+    for decl, policy in _policies(ctx):
+        automaton = policy.automaton
+        reported: set[tuple] = set()
+        for state in sorted(automaton.states):
+            edges = automaton.edges_from(state)
+            for index, first in enumerate(edges):
+                for second in edges[index + 1:]:
+                    if first.target == second.target:
+                        continue
+                    if first.pattern.event != second.pattern.event:
+                        continue
+                    if (first.pattern.binders and second.pattern.binders
+                            and len(first.pattern.binders)
+                            != len(second.pattern.binders)):
+                        continue
+                    # Only *certain* overlap is reported: both guards
+                    # must hold for every matching event.
+                    if first.pattern.guard != second.pattern.guard:
+                        continue
+                    if guard_truth(first.pattern.guard,
+                                   policy.environment()) is not True:
+                        continue
+                    key = (state, first.pattern.event,
+                           frozenset((first.target, second.target)))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield rule.diagnostic(
+                        f"policy {decl.name!r}: state {state!r} has "
+                        f"overlapping edges on event "
+                        f"{first.pattern.event!r} to "
+                        f"{first.target!r} and {second.target!r}",
+                        span=decl.span, declaration=decl.name,
+                        hint="add distinguishing guards, or merge the "
+                             "targets if the nondeterminism is "
+                             "intentional")

@@ -1,0 +1,73 @@
+"""SARIF-lite JSON rendering of lint results.
+
+The shape follows SARIF 2.1.0's ``runs[].tool`` / ``runs[].results``
+skeleton — rule metadata under the tool driver, one result per
+diagnostic with a ``ruleId``, a ``level`` and a physical location —
+without the full schema's envelope of optional baggage, so the output
+stays diff-able and trivially consumable by scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import RuleRegistry, default_registry
+
+#: SARIF levels per severity.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
+           Severity.INFO: "note"}
+
+
+def to_sarif(results: Mapping[str, Iterable[Diagnostic]],
+             registry: RuleRegistry | None = None) -> dict:
+    """A SARIF-lite document for per-file diagnostics.
+
+    *results* maps each linted path (artifact URI) to its diagnostics.
+    """
+    registry = registry or default_registry()
+    rules = [{"id": rule.code,
+              "name": rule.name,
+              "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+              "shortDescription": {"text": rule.description}}
+             for rule in registry.rules()]
+    sarif_results = []
+    for path, diagnostics in results.items():
+        for diagnostic in diagnostics:
+            entry: dict = {
+                "ruleId": diagnostic.code,
+                "level": _LEVELS[diagnostic.severity],
+                "message": {"text": diagnostic.message},
+            }
+            if diagnostic.hint:
+                entry["fixes"] = [{"description":
+                                   {"text": diagnostic.hint}}]
+            location: dict = {"physicalLocation":
+                              {"artifactLocation": {"uri": path}}}
+            if diagnostic.span is not None:
+                location["physicalLocation"]["region"] = {
+                    "startLine": diagnostic.span.line,
+                    "startColumn": diagnostic.span.column,
+                    "endLine": diagnostic.span.end_line,
+                    "endColumn": diagnostic.span.end_column,
+                }
+            if diagnostic.declaration:
+                location["logicalLocations"] = [
+                    {"name": diagnostic.declaration}]
+            entry["locations"] = [location]
+            sarif_results.append(entry)
+    return {
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "suslint", "rules": rules}},
+            "results": sarif_results,
+        }],
+    }
+
+
+def render_json(results: Mapping[str, Iterable[Diagnostic]],
+                registry: RuleRegistry | None = None) -> str:
+    """:func:`to_sarif` serialised with stable indentation."""
+    return json.dumps(to_sarif(results, registry), indent=2,
+                      sort_keys=False)

@@ -22,10 +22,24 @@ def test_example_runs_cleanly(script):
 NETWORK_FILES = sorted(
     path for pattern in ("*.toml", "*.sus")
     for path in (pathlib.Path(__file__).resolve().parents[2]
-                 / "examples").glob(pattern))
+                 / "examples").glob(pattern)
+    # broken_* examples are deliberately unverifiable lint fodder
+    # (tests/lint/ asserts their exact diagnostics).
+    if not path.name.startswith("broken_"))
 
 
 @pytest.mark.parametrize("network", NETWORK_FILES, ids=lambda p: p.name)
 def test_example_network_files_verify(network):
     from repro.cli import main
     assert main(["verify", str(network)]) == 0
+
+
+def test_broken_example_fails_verification_but_lints_precisely():
+    """The deliberately broken example is broken in exactly the ways
+    the lint engine reports: verification fails, and lint pinpoints
+    the vacuous policy, dead branch and doomed request."""
+    from repro.cli import main
+    broken = str(pathlib.Path(__file__).resolve().parents[2]
+                 / "examples" / "broken_booking.sus")
+    assert main(["verify", broken]) == 1
+    assert main(["lint", broken]) == 1

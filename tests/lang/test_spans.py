@@ -1,0 +1,81 @@
+"""Source spans on tokens, declarations and modules."""
+
+import pytest
+
+from repro.lang.lexer import Span, tokenize
+from repro.lang.module import parse_module
+
+SOURCE = """\
+# a comment that shifts everything down one line
+policy phi = blacklist(sgn, bl = {1})
+client c = open 1 with phi { !Req . ?Ok }
+
+service s =
+    ?Req ; !Ok
+"""
+
+
+class TestSpan:
+    def test_of_token(self):
+        tokens = tokenize("open r1")
+        span = tokens[1].span
+        assert (span.line, span.column) == (1, 6)
+        assert (span.end_line, span.end_column) == (1, 8)
+
+    def test_merge_orders_endpoints(self):
+        first = Span(1, 6, 1, 8)
+        second = Span(3, 2, 3, 4)
+        merged = first.merge(second)
+        assert merged == Span(1, 6, 3, 4)
+        assert second.merge(first) == merged
+
+    def test_str_is_line_colon_column(self):
+        assert str(Span(12, 3, 12, 9)) == "12:3"
+
+
+class TestDeclarationSpans:
+    @pytest.fixture()
+    def module(self):
+        return parse_module(SOURCE, path="net.sus")
+
+    def test_module_remembers_its_path(self, module):
+        assert module.path == "net.sus"
+
+    def test_every_declaration_has_a_span(self, module):
+        assert [decl.kind for decl in module.declarations] == [
+            "policy", "client", "service"]
+        for decl in module.declarations:
+            assert decl.span is not None
+
+    def test_spans_point_at_the_declared_name(self, module):
+        phi, c, s = module.declarations
+        assert (phi.span.line, phi.span.column) == (2, 8)
+        assert (c.span.line, c.span.column) == (3, 8)
+        assert (s.span.line, s.span.column) == (5, 9)
+
+    def test_body_tokens_are_recorded(self, module):
+        _, c, s = module.declarations
+        texts = [token.text for token in c.tokens]
+        assert texts[:2] == ["open", "1"]
+        # Multi-line bodies keep all their tokens, EOF excluded.
+        assert [token.text for token in s.tokens] == [
+            "?", "Req", ";", "!", "Ok"]
+
+    def test_declaration_values_match_the_dicts(self, module):
+        assert module.declaration("c").value is module.clients["c"]
+        assert module.declaration("phi").value is module.policies["phi"]
+
+    def test_duplicates_are_preserved_in_order(self):
+        module = parse_module("client c = !A\nclient c = !B\n")
+        assert len(module.declarations) == 2
+        assert [d.span.line for d in module.declarations] == [1, 2]
+        # The dict keeps the later value; declaration() agrees.
+        assert module.declaration("c") is module.declarations[1]
+
+    def test_kind_filter(self, module):
+        assert module.declaration("c", kind="service") is None
+        assert module.declaration("c", kind="client").name == "c"
+
+    def test_programmatic_modules_have_no_declarations(self):
+        from repro.lang.module import Module
+        assert Module().declarations == []

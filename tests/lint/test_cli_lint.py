@@ -1,0 +1,147 @@
+"""End-to-end tests for ``repro lint`` (and the ``check`` wiring)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+ROOT = Path(__file__).parents[2]
+EXAMPLES = ROOT / "examples"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+HOTEL = str(EXAMPLES / "hotel_booking.sus")
+LAMBDA = str(EXAMPLES / "lambda_module.sus")
+BROKEN = str(EXAMPLES / "broken_booking.sus")
+
+#: What the checked-in broken example must report (the acceptance
+#: criterion of the lint engine): exactly these codes, at these spans.
+BROKEN_EXPECTED = {
+    ("SUS011", 17, 8),
+    ("SUS020", 19, 69),
+    ("SUS030", 20, 19),
+}
+
+
+class TestLintText:
+    def test_clean_examples_exit_zero(self, capsys):
+        assert main(["lint", HOTEL, LAMBDA]) == 0
+        out = capsys.readouterr().out
+        assert "2 module(s) linted" in out
+        assert "error" not in out.splitlines()[-1]
+
+    def test_clean_examples_survive_strict(self):
+        # INFO diagnostics (hotel's ls2) never affect the exit code.
+        assert main(["lint", "--strict", HOTEL, LAMBDA]) == 0
+
+    def test_broken_example_reports_exactly_three(self, capsys):
+        assert main(["lint", BROKEN]) == 1
+        out = capsys.readouterr().out
+        found = set()
+        for line in out.splitlines():
+            if not line.startswith(BROKEN):
+                continue
+            location, _, rest = line.removeprefix(BROKEN + ":").partition(": ")
+            line_no, col_no = location.split(":")
+            code = rest.split()[1].rstrip(":")
+            found.add((code, int(line_no), int(col_no)))
+        assert found == BROKEN_EXPECTED
+
+    def test_warnings_fail_only_under_strict(self):
+        fixture = str(FIXTURES / "vacuous_policy.sus")
+        assert main(["lint", fixture]) == 0
+        assert main(["lint", "--strict", fixture]) == 1
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "--select", "SUS011,SUS020", BROKEN]) == 0
+        out = capsys.readouterr().out
+        assert "SUS030" not in out and "SUS011" in out
+        assert main(["lint", "--ignore", "SUS030", "--strict", BROKEN]) == 1
+        assert "SUS030" not in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SUS001", "SUS011", "SUS020", "SUS030", "SUS031"):
+            assert code in out
+
+
+class TestLintJson:
+    def test_broken_example_sarif(self, capsys):
+        assert main(["lint", "--format", "json", BROKEN]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "suslint"
+        found = set()
+        for result in run["results"]:
+            region = (result["locations"][0]["physicalLocation"]["region"])
+            found.add((result["ruleId"], region["startLine"],
+                       region["startColumn"]))
+        assert found == BROKEN_EXPECTED
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["SUS030"] == "error"
+        assert levels["SUS011"] == "warning"
+
+    def test_json_output_is_pure(self, capsys):
+        # Machine output must stay parseable: no summary line mixed in.
+        main(["lint", "--format", "json", HOTEL])
+        json.loads(capsys.readouterr().out)
+
+
+class TestStats:
+    def test_fire_counts_show_under_stats(self, capsys):
+        assert main(["--stats", "lint", BROKEN]) == 1
+        out = capsys.readouterr().out
+        assert "lint.fired{rule=SUS011}" in out
+        assert "lint.fired{rule=SUS030}" in out
+        assert "lint.modules" in out
+
+
+class TestCheckWiring:
+    def test_check_runs_error_rules(self, capsys):
+        assert main(["check", str(FIXTURES / "doomed_request.sus")]) == 1
+        captured = capsys.readouterr()
+        assert "SUS030" in captured.err
+        assert "SUS030" not in captured.out
+
+    def test_check_ignores_warning_rules(self):
+        # vacuous_policy only trips a warning; check stays green.
+        assert main(["check", str(FIXTURES / "vacuous_policy.sus")]) == 0
+
+    def test_check_clean_example(self):
+        assert main(["check", HOTEL]) == 0
+
+
+class TestErrorPaths:
+    def test_parse_error_carries_the_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sus"
+        bad.write_text("client broken = open 1 { !A . }\n")
+        assert main(["lint", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {bad}:1:")
+
+    def test_invalid_toml_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("not valid toml [[[")
+        assert main(["check", str(bad)]) == 2
+        assert "invalid TOML" in capsys.readouterr().err
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "ghost.sus")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_modules_is_a_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "at least one module" in capsys.readouterr().err
+
+    def test_unknown_rule_code_is_a_usage_error(self, capsys):
+        assert main(["lint", "--select", "SUS999", HOTEL]) == 2
+        assert "SUS999" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("fixture", sorted(
+        p.name for p in FIXTURES.glob("*.sus")))
+    def test_every_fixture_parses_through_the_cli(self, fixture):
+        # Fixtures are lint-dirty but syntactically valid: never exit 2.
+        assert main(["lint", str(FIXTURES / fixture)]) in (0, 1)

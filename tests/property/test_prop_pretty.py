@@ -1,0 +1,74 @@
+"""Round-trip properties at the *module* level.
+
+:mod:`tests.property.test_prop_lang` already round-trips bare terms
+through ``parse ∘ pretty``; here the same law is checked for whole
+modules: every checked-in example, and modules assembled around seeded
+strategy terms, survive rendering and re-parsing structurally intact.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.syntax import policies_of
+from repro.lang.module import parse_module
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.policies.library import (at_most, forbid, never_after,
+                                    require_before)
+
+from tests.strategies import contracts, history_expressions
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples").glob("*.sus"))
+
+#: Module-source spellings of the policies the strategies sample from
+#: (see :func:`tests.strategies.policies`).  Policies without a spelling
+#: fall back to a term-level round trip.
+POLICY_SPELLINGS = {
+    never_after("read", "write"): "never_after(read, write)",
+    never_after("write", "read"): "never_after(write, read)",
+    forbid("close"): "forbid(close)",
+    at_most("open", 2): "at_most(open, 2)",
+    require_before("open", "read"): "require_before(open, read)",
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_modules_round_trip(path):
+    """Every term of every example module survives parse ∘ pretty."""
+    module = parse_module(path.read_text(), path=str(path))
+    names = {policy: name for name, policy in module.policies.items()}
+    for name, term in {**module.clients, **module.services}.items():
+        rendered = pretty(term, names)
+        reparsed = parse(rendered, policies=dict(module.policies))
+        assert reparsed == term, (path.name, name, rendered)
+
+
+@settings(max_examples=150, deadline=None)
+@given(term=contracts())
+def test_contract_terms_round_trip_as_client_declarations(term):
+    source = f"client c = {pretty(term)}\n"
+    module = parse_module(source)
+    assert module.clients["c"] == term
+
+
+@settings(max_examples=150, deadline=None)
+@given(term=history_expressions())
+def test_strategy_terms_round_trip_as_declarations(term):
+    used = sorted(policies_of(term), key=str)
+    names = {policy: f"p{index}" for index, policy in enumerate(used)}
+    if not all(policy in POLICY_SPELLINGS for policy in used):
+        # No module spelling for this policy (e.g. the same_resource
+        # variant): the term-level law still must hold.
+        rendered = pretty(term, names)
+        env = {name: policy for policy, name in names.items()}
+        assert parse(rendered, policies=env) == term
+        return
+    lines = [f"policy {names[policy]} = {POLICY_SPELLINGS[policy]}"
+             for policy in used]
+    lines.append(f"client c = {pretty(term, names)}")
+    module = parse_module("\n".join(lines) + "\n")
+    assert module.clients["c"] == term
+    assert module.policies == {names[policy]: policy for policy in used}
