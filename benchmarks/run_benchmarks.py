@@ -15,12 +15,15 @@ process and records their ratio:
   pruning off vs on (and, optionally, the parallel path), asserting the
   valid/invalid partitions agree;
 * **S3** — validity: the declarative checker vs the incremental
-  ``ValidityMonitor``, plus the cost of monitor snapshots (``copy``).
+  ``ValidityMonitor``, plus the cost of monitor snapshots (``copy``);
+* **R1** — resilience: the bare simulator vs the fault-free supervised
+  run (the supervision tax), and the supervised run under a transient
+  drop (retry) and a crash with an alternative (failover).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--output-dir DIR] [--suites s1,s2,s3] [--repeats N]
+        [--output-dir DIR] [--suites s1,s2,s3,r1] [--repeats N]
 
 The output file is ``BENCH_<n>.json`` with the smallest unused ``n`` in
 the output directory (repository root by default); see DESIGN.md
@@ -252,7 +255,92 @@ def run_s3(quick: bool, repeats: int) -> dict:
     }
 
 
-SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3}
+# -- R1: recovery overhead ---------------------------------------------------
+
+def run_r1(quick: bool, repeats: int) -> dict:
+    from repro.core.plans import Plan, PlanVector
+    from repro.network.config import Component, Configuration
+    from repro.network.repository import Repository
+    from repro.network.simulator import Simulator
+    from repro.paper import figure2
+    from repro.policies.library import hotel_policy
+    from repro.resilience import Fault, FaultPlan, Supervisor
+
+    paper_clients = {figure2.LOC_CLIENT_1: figure2.client_1(),
+                     figure2.LOC_CLIENT_2: figure2.client_2()}
+    paper_plans = PlanVector.of(figure2.plan_pi1(),
+                                figure2.plan_pi2_valid())
+    paper_repo = figure2.repository()
+
+    flaky_repo = Repository({
+        figure2.LOC_BROKER: figure2.broker(),
+        "ls_alpha": figure2.hotel(7, 55, 70),
+        "ls_beta": figure2.hotel(8, 50, 90),
+    })
+    flaky_clients = {"lc": figure2.client("1", hotel_policy(set(),
+                                                            60, 80))}
+    flaky_plans = PlanVector.of(Plan.of({"1": figure2.LOC_BROKER,
+                                         "3": "ls_alpha"}))
+
+    def bare(clients, plans, repo, seed):
+        configuration = Configuration.of(*(
+            Component.client(location, term)
+            for location, term in clients.items()))
+        Simulator(configuration, plans, repo, seed=seed).run(
+            max_steps=5_000)
+
+    def supervised(clients, plans, repo, seed, fault_plan=FaultPlan()):
+        return Supervisor(clients, plans, repo, fault_plan=fault_plan,
+                          seed=seed).run()
+
+    seeds = range(3) if quick else range(10)
+    cases = []
+    for name, clients, plans, repo, fault_plan, expect_replans in [
+            ("paper_fault_free", paper_clients, paper_plans, paper_repo,
+             FaultPlan(), 0),
+            ("paper_transient_drop", paper_clients, paper_plans,
+             paper_repo,
+             FaultPlan((Fault("drop", location="ls3", channel="Bok",
+                              at_step=0, duration=2),)), 0),
+            ("flaky_failover", flaky_clients, flaky_plans, flaky_repo,
+             FaultPlan((Fault("crash", location="ls_alpha"),)), 1)]:
+        bare_seconds = _measure(
+            lambda: [bare(clients, plans, repo, seed) for seed in seeds],
+            repeats)
+        supervised_seconds = _measure(
+            lambda: [supervised(clients, plans, repo, seed, fault_plan)
+                     for seed in seeds],
+            repeats)
+        results = [supervised(clients, plans, repo, seed, fault_plan)
+                   for seed in seeds]
+        assert all(result.status == "completed" for result in results)
+        assert all(result.replans >= expect_replans
+                   for result in results)
+        metrics = _instrumented(
+            lambda: supervised(clients, plans, repo, 0, fault_plan))
+        cases.append({
+            "scenario": name,
+            "runs": len(list(seeds)),
+            "bare_seconds": bare_seconds,
+            "supervised_seconds": supervised_seconds,
+            "overhead": supervised_seconds / max(bare_seconds, 1e-9),
+            "retries": sum(result.retries for result in results),
+            "replans": sum(result.replans for result in results),
+            "metrics": metrics,
+        })
+        print(f"R1 {name:22s}: bare {bare_seconds * 1e3:8.2f} ms  "
+              f"supervised {supervised_seconds * 1e3:8.2f} ms  "
+              f"{supervised_seconds / max(bare_seconds, 1e-9):5.1f}x")
+    fault_free = next(c for c in cases
+                      if c["scenario"] == "paper_fault_free")
+    return {
+        "cases": cases,
+        "fault_free_overhead": fault_free["overhead"],
+        "all_supervised_runs_completed": True,
+    }
+
+
+SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "r1": run_r1}
 
 
 def next_bench_path(directory: Path) -> Path:
@@ -269,8 +357,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output-dir", type=Path, default=_ROOT,
                         help="directory for BENCH_<n>.json "
                              "(default: repository root)")
-    parser.add_argument("--suites", default="s1,s2,s3",
-                        help="comma-separated subset of s1,s2,s3")
+    parser.add_argument("--suites", default="s1,s2,s3,r1",
+                        help="comma-separated subset of s1,s2,s3,r1")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per measurement "
                              "(default: 1 with --quick, else 3)")

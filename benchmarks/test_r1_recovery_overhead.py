@@ -1,0 +1,115 @@
+"""Experiment R1 — the cost of resilience.
+
+Measures the supervisor's overhead over the bare simulator in three
+regimes:
+
+* **fault-free** — same module, same seed: the supervision tax (fault
+  filtering, clock keeping, breaker checks) with nothing to recover;
+* **transient fault** — a short drop the backoff waits out: the price of
+  a retry episode;
+* **failover** — a crashed service with a healthy alternative: the full
+  compensation + re-planning path, which must still complete.
+
+The aggregate runner (``run_benchmarks.py --suites r1``) records the
+same quantities into the BENCH json trajectory.
+"""
+
+import time
+
+from repro.core.plans import Plan, PlanVector
+from repro.network.config import Component, Configuration
+from repro.network.repository import Repository
+from repro.network.simulator import Simulator
+from repro.paper import figure2
+from repro.policies.library import hotel_policy
+from repro.resilience import Fault, FaultPlan, Supervisor
+
+
+def paper_setup():
+    clients = {figure2.LOC_CLIENT_1: figure2.client_1(),
+               figure2.LOC_CLIENT_2: figure2.client_2()}
+    plans = PlanVector.of(figure2.plan_pi1(), figure2.plan_pi2_valid())
+    return clients, plans, figure2.repository()
+
+
+def flaky_setup():
+    repository = Repository({
+        figure2.LOC_BROKER: figure2.broker(),
+        "ls_alpha": figure2.hotel(7, 55, 70),
+        "ls_beta": figure2.hotel(8, 50, 90),
+    })
+    clients = {"lc": figure2.client("1", hotel_policy(set(), 60, 80))}
+    plans = PlanVector.of(Plan.of({"1": figure2.LOC_BROKER,
+                                   "3": "ls_alpha"}))
+    return clients, plans, repository
+
+
+def bare_run(clients, plans, repository, seed=11):
+    configuration = Configuration.of(*(
+        Component.client(location, term)
+        for location, term in clients.items()))
+    simulator = Simulator(configuration, plans, repository, seed=seed)
+    simulator.run(max_steps=5_000)
+    return simulator
+
+
+def supervised_run(clients, plans, repository, fault_plan=FaultPlan(),
+                   seed=11):
+    supervisor = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, seed=seed)
+    return supervisor.run()
+
+
+def test_r1_bare_simulator(benchmark):
+    clients, plans, repository = paper_setup()
+    simulator = benchmark(bare_run, clients, plans, repository)
+    assert simulator.is_terminated()
+
+
+def test_r1_supervised_no_faults(benchmark):
+    clients, plans, repository = paper_setup()
+    result = benchmark(supervised_run, clients, plans, repository)
+    assert result.status == "completed"
+    assert result.episodes == []
+
+
+def test_r1_supervised_transient_fault(benchmark):
+    clients, plans, repository = paper_setup()
+    fault_plan = FaultPlan((Fault("drop", location="ls3", channel="Bok",
+                                  at_step=0, duration=2),))
+    result = benchmark(supervised_run, clients, plans, repository,
+                       fault_plan)
+    assert result.status == "completed"
+
+
+def test_r1_supervised_failover(benchmark):
+    clients, plans, repository = flaky_setup()
+    fault_plan = FaultPlan((Fault("crash", location="ls_alpha"),))
+    result = benchmark(supervised_run, clients, plans, repository,
+                       fault_plan)
+    assert result.status == "completed"
+    assert result.replans == 1
+
+
+def test_r1_overhead_is_bounded(benchmark):
+    """The headline row: fault-free supervision costs something, but the
+    run outcome is identical and the tax stays within an order of
+    magnitude of the bare simulator."""
+    clients, plans, repository = paper_setup()
+
+    def both():
+        start = time.perf_counter()
+        simulator = bare_run(clients, plans, repository)
+        bare_time = time.perf_counter() - start
+        start = time.perf_counter()
+        result = supervised_run(clients, plans, repository)
+        supervised_time = time.perf_counter() - start
+        return simulator, result, bare_time, supervised_time
+
+    simulator, result, bare_time, supervised_time = benchmark(both)
+    assert simulator.is_terminated()
+    assert result.status == "completed"
+    print(f"\nR1 — bare {bare_time * 1e3:.1f} ms vs supervised "
+          f"{supervised_time * 1e3:.1f} ms "
+          f"(overhead {supervised_time / max(bare_time, 1e-9):.1f}x), "
+          "fault-free")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Failover in action: a crashed hotel service, recovered by re-planning.
+
+A variation of the paper's hotel-booking module (Section 2) where the
+client's policy admits *two* interchangeable hotels.  We verify the
+module, crash the hotel the chosen valid plan routes to, and watch the
+:class:`~repro.resilience.supervisor.Supervisor` recover: bounded retry
+first (the crash does not heal), then compensation — the open sessions
+close cleanly, keeping the history valid — and failover to the other
+hotel through the memoized planner.  The run completes with a valid
+history, without a single security violation: the paper's valid-plan
+guarantee, preserved across partial failure.
+
+Run with::
+
+    python examples/flaky_booking.py
+"""
+
+from repro.analysis.verification import verify_network
+from repro.core.validity import is_valid
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.policies.library import hotel_policy
+from repro.resilience import Fault, FaultPlan, Supervisor, run_chaos
+
+# --- The module: one client, a broker, two acceptable hotels --------------
+
+# φ(∅, 60, 80): nobody black-listed; violated only by a price above 60
+# followed by a rating below 80.
+policy = hotel_policy(set(), 60, 80)
+client = figure2.client("1", policy)
+
+repository = Repository({
+    figure2.LOC_BROKER: figure2.broker(),
+    "ls_alpha": figure2.hotel(7, 55, 70),   # price fine -> acceptable
+    "ls_beta": figure2.hotel(8, 50, 90),    # price fine -> acceptable
+})
+clients = {"lc": client}
+
+print("== Verification: two interchangeable valid plans ==")
+verdict = verify_network(clients, repository)
+assert verdict.verified
+result = verdict.clients[0].result
+for analysis in result.valid_plans:
+    print(f"  valid plan: {analysis.plan}")
+plans = verdict.plan_vector()
+primary = plans[0].lookup("3")
+print(f"chosen plan routes the booking to {primary}")
+
+# --- Crash the chosen hotel and let the supervisor recover ----------------
+
+print(f"\n== Crashing {primary} at tick 0; supervised run ==")
+fault_plan = FaultPlan((Fault("crash", location=primary),))
+supervisor = Supervisor(clients, plans, repository,
+                        fault_plan=fault_plan, seed=11)
+outcome = supervisor.run()
+
+for episode in outcome.episodes:
+    print(f"  {episode.describe()}")
+print(f"status: {outcome.status} after {outcome.steps} step(s), "
+      f"{outcome.retries} retr(ies), {outcome.replans} failover(s)")
+history = outcome.histories[0]
+print(f"client history: {history}")
+print(f"history valid: {is_valid(history)}")
+
+assert outcome.status == "completed"
+assert outcome.replans == 1
+assert is_valid(history)
+failover = supervisor._plans[0].lookup("3")
+assert failover != primary
+print(f"failed over {primary} -> {failover}  ✓")
+
+# --- The same resilience, statistically: a seeded chaos run ---------------
+
+print("\n== 25 seeded chaos trials (crash + drop + stall) ==")
+report = run_chaos(clients, repository, trials=25, seed=11,
+                   module="flaky_booking")
+print(f"outcomes: {report.outcomes}")
+print(f"invariant holds: {report.invariant_holds} "
+      f"({report.security_violations} security violations, "
+      f"{report.undiagnosed} undiagnosed, "
+      f"{report.invalid_histories} invalid histories)")
+assert report.invariant_holds

@@ -22,6 +22,7 @@ Commands::
     repro verify NETWORK.toml             # plan synthesis (Section 5)
     repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
+    repro chaos NETWORK.toml [--seed N] [--trials N] [--faults KINDS]
     repro explain NETWORK.toml CLIENT     # narrate each candidate plan
     repro dot NETWORK.toml NAME           # policy automaton / contract dot
     repro trace NETWORK.toml [--out F]    # verify + simulate, emit spans
@@ -271,6 +272,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Verify, then run seeded fault-injection trials with recovery."""
+    from repro.resilience import FAULT_KINDS, run_chaos
+    network = load_network(args.network)
+    kinds = tuple(kind.strip() for kind in args.faults.split(",")
+                  if kind.strip())
+    unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+    if unknown:
+        raise ReproError(f"unknown fault kind(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(FAULT_KINDS)})")
+    verdict = verify_network(network.clients, network.repository)
+    if not verdict.verified:
+        print(verdict.report())
+        return 1
+    report = run_chaos(network.clients, network.repository,
+                       trials=args.trials, seed=args.seed, kinds=kinds,
+                       max_faults=args.max_faults,
+                       max_steps=args.max_steps,
+                       recover=not args.no_recover,
+                       module=str(args.network))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.invariant_holds else 1
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.analysis.diagnostics import explain_plan
     from repro.analysis.planner import analyze_plan, enumerate_plans
@@ -381,6 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace", action="store_true",
                           help="print the Figure-3-style step trace")
     simulate.set_defaults(func=_cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="verify, then run seeded fault-injection trials "
+                      "and check the resilience invariant")
+    chaos.add_argument("network")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--trials", type=int, default=20)
+    chaos.add_argument("--faults", default="crash,drop,stall",
+                       metavar="KINDS",
+                       help="comma-separated fault kinds to inject "
+                            "(crash, drop, stall, byzantine)")
+    chaos.add_argument("--max-faults", type=int, default=3,
+                       help="maximum faults sampled per trial")
+    chaos.add_argument("--max-steps", type=int, default=400,
+                       help="per-trial step budget")
+    chaos.add_argument("--no-recover", action="store_true",
+                       help="disable retry/failover (diagnosis only)")
+    chaos.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    chaos.set_defaults(func=_cmd_chaos)
 
     explain = sub.add_parser(
         "explain", help="narrate why each candidate plan is (in)valid")

@@ -49,15 +49,26 @@ class StateSpaceLimitError(ReproError):
 
 
 class SecurityViolationError(ReproError):
-    """An access event violated an active policy in a monitored execution."""
+    """An access event violated an active policy in a monitored execution.
 
-    def __init__(self, policy: object, history: object, event: object) -> None:
+    ``policy_name`` and ``offending_label`` are the machine-readable
+    cause — the name of the (first) violated policy and the label whose
+    extension broke validity — so chaos reports and supervisors can
+    aggregate abort causes without parsing the message.
+    """
+
+    def __init__(self, policy: object, history: object, event: object,
+                 policy_name: str | None = None,
+                 offending_label: str | None = None) -> None:
         super().__init__(
             f"event {event} violates active policy {policy} after history "
             f"{history}")
         self.policy = policy
         self.history = history
         self.event = event
+        self.policy_name = policy_name
+        self.offending_label = (offending_label if offending_label is not None
+                                else str(event))
 
 
 class StuckSessionError(ReproError):

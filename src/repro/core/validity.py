@@ -244,6 +244,30 @@ class ValidityMonitor:
             return True
         raise TypeError(f"{label!r} is not a history label")
 
+    def blame(self, label: HistoryLabel) -> tuple[Policy, ...]:
+        """The policies that refuse ``η·label`` — the machine-readable
+        cause behind a ``can_extend(label) == False`` verdict.
+
+        Empty when the extension is fine (or when validity was already
+        broken by an earlier label, in which case no single policy can
+        be blamed for *this* one).
+        """
+        if not self._valid:
+            return ()
+        if isinstance(label, Event):
+            return tuple(policy
+                         for policy, entry in self._active.items()
+                         if self._would_violate(entry.runner, label))
+        if isinstance(label, FrameOpen):
+            policy = label.policy
+            if policy in self._active:
+                return ()
+            probe = policy.runner()
+            for past in self._events:
+                probe.step(past)
+            return (policy,) if probe.in_violation else ()
+        return ()
+
     def extend(self, label: HistoryLabel) -> bool:
         """Append *label*; returns the new validity verdict.
 

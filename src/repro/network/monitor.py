@@ -13,7 +13,7 @@ with abort semantics and bookkeeping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.actions import HistoryLabel
 from repro.core.errors import SecurityViolationError
@@ -36,6 +36,9 @@ class MonitorStatistics:
     events_checked: int = 0
     framings_opened: int = 0
     aborts: int = 0
+    #: Machine-readable causes, one ``(policy name, offending label)``
+    #: pair per abort, in abort order — what chaos reports aggregate.
+    abort_causes: list[tuple[str, str]] = field(default_factory=list)
 
 
 class ReferenceMonitor:
@@ -97,15 +100,25 @@ class ReferenceMonitor:
                 self._span.add_event(kind, label=str(label))
         if not self._monitor.can_extend(label):
             self.statistics.aborts += 1
+            blamed = self._monitor.blame(label)
+            policy_name = blamed[0].name if blamed else None
+            self.statistics.abort_causes.append(
+                (policy_name or "<unknown>", str(label)))
             if tel is not None:
                 tel.metrics.counter("monitor.aborts").inc()
+                tel.metrics.counter(
+                    "monitor.abort_causes",
+                    policy=policy_name or "<unknown>").inc()
                 if self._span is not None:
-                    self._span.add_event("abort", label=str(label))
+                    self._span.add_event("abort", label=str(label),
+                                         policy=policy_name)
             self.finish()
             raise SecurityViolationError(
                 policy=dict(self._monitor.active_policies()),
                 history=self._history,
-                event=label)
+                event=label,
+                policy_name=policy_name,
+                offending_label=str(label))
         self._monitor.extend(label)
         self._history = self._history.append(label)
 

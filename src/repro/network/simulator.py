@@ -15,6 +15,7 @@ test suite replays the exact step sequence of Figure 3.
 
 from __future__ import annotations
 
+import enum
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -30,6 +31,24 @@ from repro.network.semantics import (NetworkTransition, network_transitions,
 from repro.observability import runtime as _telemetry
 
 
+class RunOutcome(enum.Enum):
+    """How a :meth:`Simulator.run` ended.
+
+    ``STEP_BUDGET_EXCEEDED`` means the run consumed *max_steps* with
+    moves still enabled — truncation, not termination.  Before this
+    marker existed the two were indistinguishable on the trace, which
+    made supervisors treat truncated runs as successes.
+    """
+
+    TERMINATED = "terminated"
+    STUCK = "stuck"
+    STEP_BUDGET_EXCEEDED = "step-budget-exceeded"
+
+
+#: Convenience alias: ``log.outcome is StepBudgetExceeded``.
+StepBudgetExceeded = RunOutcome.STEP_BUDGET_EXCEEDED
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One fired transition together with the step index."""
@@ -40,9 +59,15 @@ class TraceRecord:
 
 @dataclass
 class TraceLog:
-    """The record of a whole run."""
+    """The record of a whole run.
+
+    ``outcome`` is ``None`` until a :meth:`Simulator.run` finishes (the
+    stepping API never sets it); afterwards it tells termination,
+    stuckness and step-budget truncation apart.
+    """
 
     records: list[TraceRecord] = field(default_factory=list)
+    outcome: RunOutcome | None = None
 
     def labels(self) -> tuple:
         """The fired labels, in order."""
@@ -235,38 +260,52 @@ class Simulator:
             ) -> TraceLog:
         """Run until termination, stuckness, or *max_steps*.
 
+        The log's :attr:`TraceLog.outcome` records how the run ended —
+        in particular :data:`StepBudgetExceeded` when *max_steps* fired
+        with moves still enabled, so callers can tell truncation from
+        completion.
+
         In monitored mode a run that leaves a component security-stuck
         raises :class:`SecurityViolationError` — the monitor aborted it.
         """
         tel = _telemetry.active()
         if tel is None:
-            for _ in range(max_steps):
-                options = self.available()
-                if not options:
-                    break
-                chosen = (scheduler(options) if scheduler is not None
-                          else self._random.choice(options))
-                self.fire(chosen)
+            self._run_loop(max_steps, scheduler)
             if self.monitored:
                 self._raise_if_monitor_aborted()
             return self.log
         with tel.tracer.span("simulator.run",
                              monitored=self.monitored) as span:
             try:
-                for _ in range(max_steps):
-                    options = self.available()
-                    if not options:
-                        break
-                    chosen = (scheduler(options) if scheduler is not None
-                              else self._random.choice(options))
-                    self.fire(chosen)
+                self._run_loop(max_steps, scheduler)
                 if self.monitored:
                     self._raise_if_monitor_aborted()
             finally:
                 self._close_spans(tel)
                 span.set(steps=len(self.log),
-                         terminated=self.is_terminated())
+                         terminated=self.is_terminated(),
+                         outcome=(self.log.outcome.value
+                                  if self.log.outcome else None))
             return self.log
+
+    def _run_loop(self, max_steps: int, scheduler) -> None:
+        """The scheduling loop shared by both telemetry paths; sets
+        ``self.log.outcome``."""
+        exhausted = True
+        for _ in range(max_steps):
+            options = self.available()
+            if not options:
+                exhausted = False
+                break
+            chosen = (scheduler(options) if scheduler is not None
+                      else self._random.choice(options))
+            self.fire(chosen)
+        if exhausted and self.available():
+            self.log.outcome = RunOutcome.STEP_BUDGET_EXCEEDED
+        elif self.is_terminated():
+            self.log.outcome = RunOutcome.TERMINATED
+        else:
+            self.log.outcome = RunOutcome.STUCK
 
     def _raise_if_monitor_aborted(self) -> None:
         from repro.network.semantics import classify_stuckness
@@ -275,7 +314,28 @@ class Simulator:
                     else self.plans[index])
             verdict = classify_stuckness(component, plan, self.repository)
             if verdict == "security":
+                policy_name, label = self._blame_blocked(component, plan)
                 raise SecurityViolationError(
                     policy=dict(component.history.active_policies()),
                     history=component.history,
-                    event="<all enabled events blocked>")
+                    event="<all enabled events blocked>",
+                    policy_name=policy_name,
+                    offending_label=label)
+
+    def _blame_blocked(self, component, plan
+                       ) -> tuple[str | None, str | None]:
+        """The (policy name, label) pair behind a security-stuck
+        component: the first unfiltered move whose history extension a
+        policy refuses."""
+        from repro.core.validity import ValidityMonitor
+        from repro.network.semantics import component_moves
+        for move in component_moves(component, plan, self.repository,
+                                    enforce_validity=False):
+            monitor = ValidityMonitor(component.history)
+            for label in move.appends:
+                if not monitor.can_extend(label):
+                    blamed = monitor.blame(label)
+                    name = blamed[0].name if blamed else None
+                    return name, str(label)
+                monitor.extend(label)
+        return None, None

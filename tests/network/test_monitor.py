@@ -65,3 +65,23 @@ class TestReferenceMonitor:
             monitor.observe_all([FrameOpen(phi), Event("boom"),
                                  Event("after")])
         assert monitor.statistics.labels_observed == 2
+
+    def test_abort_cause_is_machine_readable(self):
+        phi = forbid("boom")
+        monitor = ReferenceMonitor()
+        monitor.observe(FrameOpen(phi))
+        with pytest.raises(SecurityViolationError) as excinfo:
+            monitor.observe(Event("boom"))
+        assert excinfo.value.policy_name == "forbid_boom"
+        assert excinfo.value.offending_label == "@boom"
+        assert monitor.statistics.abort_causes == \
+            [("forbid_boom", "@boom")]
+
+    def test_abort_cause_for_history_dependent_framing(self):
+        phi = never_after("read", "write")
+        monitor = ReferenceMonitor()
+        monitor.observe_all([Event("read"), Event("write")])
+        with pytest.raises(SecurityViolationError) as excinfo:
+            monitor.observe(FrameOpen(phi))
+        assert excinfo.value.policy_name == phi.name
+        assert monitor.statistics.abort_causes[0][0] == phi.name

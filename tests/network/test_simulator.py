@@ -8,7 +8,8 @@ from repro.core.plans import Plan
 from repro.core.syntax import Framing, event, receive, request, send, seq
 from repro.network.config import Component, Configuration
 from repro.network.repository import Repository
-from repro.network.simulator import Simulator
+from repro.network.simulator import (RunOutcome, Simulator,
+                                     StepBudgetExceeded)
 from repro.paper import figure2, figure3
 from repro.policies.library import forbid
 
@@ -121,3 +122,57 @@ class TestMonitoredAbort:
         component, prefix = violations[0]
         assert component == 0
         assert prefix[-1] == Event("boom")
+
+
+class TestRunOutcome:
+    def make(self):
+        client = request("r", None, seq(send("a"), receive("b")))
+        repo = Repository({"srv": seq(receive("a"), send("b"))})
+        config = Configuration.of(Component.client("me", client))
+        return Simulator(config, Plan.single("r", "srv"), repo)
+
+    def test_outcome_is_none_before_any_run(self):
+        assert self.make().log.outcome is None
+
+    def test_terminated(self):
+        simulator = self.make()
+        log = simulator.run()
+        assert log.outcome is RunOutcome.TERMINATED
+
+    def test_step_budget_exceeded(self):
+        simulator = self.make()
+        log = simulator.run(max_steps=2)
+        assert log.outcome is StepBudgetExceeded
+        assert log.outcome is RunOutcome.STEP_BUDGET_EXCEEDED
+        assert not simulator.is_terminated()
+
+    def test_budget_equal_to_run_length_is_not_truncation(self):
+        # The run needs exactly 4 steps; a budget of 4 completes it.
+        simulator = self.make()
+        log = simulator.run(max_steps=4)
+        assert log.outcome is RunOutcome.TERMINATED
+
+    def test_stuck(self):
+        client = request("r", None, seq(send("a"), receive("b")))
+        # The service never answers on "b": the session deadlocks.
+        repo = Repository({"srv": receive("a", receive("never"))})
+        config = Configuration.of(Component.client("me", client))
+        simulator = Simulator(config, Plan.single("r", "srv"), repo,
+                              monitored=False)
+        log = simulator.run()
+        assert log.outcome is RunOutcome.STUCK
+
+
+class TestAbortCause:
+    def test_security_error_carries_policy_and_label(self):
+        phi = forbid("boom")
+        client = request("r", phi, seq(send("go"), receive("done")))
+        repo = Repository({"srv": receive("go", seq(event("boom"),
+                                                    send("done")))})
+        config = Configuration.of(Component.client("me", client))
+        simulator = Simulator(config, Plan.single("r", "srv"), repo,
+                              monitored=True, seed=1)
+        with pytest.raises(SecurityViolationError) as excinfo:
+            simulator.run()
+        assert excinfo.value.policy_name == "forbid_boom"
+        assert excinfo.value.offending_label == "@boom"

@@ -1,0 +1,114 @@
+"""Property-based checks of the resilience layer.
+
+Two families, straight from the subsystem's contract:
+
+* **recovery safety** — whatever seeded fault plan is thrown at a
+  verified module, the supervised run never produces an invalid
+  history, never reports a security violation (the plans are valid),
+  and always ends diagnosed;
+* **breaker monotonicity** — a circuit breaker only ever moves along
+  the legal edges closed→open→half-open→{closed, open}, with
+  non-decreasing ticks, no matter the operation sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from benchmarks.workloads import (chain_client, pumping_client,
+                                  recursive_ticker, worker_pool)
+from repro.analysis.verification import verify_network
+from repro.core.validity import is_valid
+from repro.network.repository import Repository
+from repro.resilience.faults import module_requests, sample_fault_plan
+from repro.resilience.supervisor import (BREAKER_EDGES, CircuitBreaker,
+                                         Supervisor)
+
+
+def supervised_run(clients, repository, seed,
+                   kinds=("crash", "drop", "stall")):
+    verdict = verify_network(clients, repository)
+    assert verdict.verified
+    fault_plan = sample_fault_plan(seed, repository,
+                                   requests=module_requests(clients,
+                                                            repository),
+                                   kinds=kinds)
+    supervisor = Supervisor(clients, verdict.plan_vector(), repository,
+                            fault_plan=fault_plan, seed=seed,
+                            max_steps=300)
+    return supervisor.run()
+
+
+def assert_invariant(result):
+    assert result.status != "security-violation"
+    assert result.diagnosed
+    assert all(is_valid(history) for history in result.histories)
+    for transitions in result.breakers.values():
+        ticks = [tick for _s, _t, tick in transitions]
+        assert ticks == sorted(ticks)
+        for source, target, _tick in transitions:
+            assert (source, target) in BREAKER_EDGES
+
+
+class TestRecoveryNeverInvalidatesHistories:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           requests=st.integers(min_value=1, max_value=3),
+           workers=st.integers(min_value=2, max_value=4))
+    def test_worker_pool_under_random_faults(self, seed, requests,
+                                             workers):
+        clients = {"lc": chain_client(requests)}
+        assert_invariant(supervised_run(clients, worker_pool(workers),
+                                        seed))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           rounds=st.integers(min_value=1, max_value=3))
+    def test_policied_pumping_client_under_random_faults(self, seed,
+                                                         rounds):
+        clients = {"lc": pumping_client(rounds)}
+        repository = Repository({"tick": recursive_ticker()})
+        assert_invariant(supervised_run(clients, repository, seed))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_byzantine_faults_cannot_break_validity(self, seed):
+        clients = {"lc": chain_client(2)}
+        assert_invariant(supervised_run(
+            clients, worker_pool(3), seed,
+            kinds=("crash", "byzantine")))
+
+
+#: One breaker operation: (op, tick-advance).
+breaker_ops = st.lists(
+    st.tuples(st.sampled_from(("allows", "failure", "success")),
+              st.integers(min_value=0, max_value=4)),
+    min_size=1, max_size=30)
+
+
+class TestBreakerMonotonicity:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=breaker_ops,
+           threshold=st.integers(min_value=1, max_value=3),
+           cooldown=st.integers(min_value=1, max_value=5))
+    def test_transitions_follow_legal_edges(self, ops, threshold,
+                                            cooldown):
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 cooldown=cooldown)
+        now = 0
+        for op, advance in ops:
+            now += advance
+            if op == "allows":
+                breaker.allows(now)
+            elif op == "failure":
+                breaker.record_failure(now)
+            else:
+                breaker.record_success(now)
+        ticks = [tick for _s, _t, tick in breaker.transitions]
+        assert ticks == sorted(ticks)
+        for source, target, _tick in breaker.transitions:
+            assert (source, target) in BREAKER_EDGES
+        # Consecutive transitions chain: each leaves the state the
+        # previous one entered.
+        for before, after in zip(breaker.transitions,
+                                 breaker.transitions[1:]):
+            assert before[1] == after[0]

@@ -1,0 +1,80 @@
+"""Tests for the ``chaos`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+HOTEL_SUS = "examples/hotel_booking.sus"
+
+UNVERIFIABLE = """
+[policies.phi]
+schema = "forbid"
+schema_args = ["boom"]
+args = {}
+
+[clients.me]
+term = "open r with phi { !go . ?done }"
+
+[services.srv]
+term = "?go . { @boom(1) ; !done }"
+"""
+
+
+class TestChaosCommand:
+    def test_exit_zero_and_invariant(self, capsys):
+        status = main(["chaos", HOTEL_SUS, "--seed", "7",
+                       "--trials", "5"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "invariant HOLDS" in out
+        assert "seed 7" in out
+
+    def test_output_is_reproducible(self, capsys):
+        main(["chaos", HOTEL_SUS, "--seed", "7", "--trials", "5"])
+        first = capsys.readouterr().out
+        main(["chaos", HOTEL_SUS, "--seed", "7", "--trials", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_format(self, capsys):
+        status = main(["chaos", HOTEL_SUS, "--seed", "7",
+                       "--trials", "4", "--format", "json"])
+        out = capsys.readouterr().out
+        assert status == 0
+        data = json.loads(out)
+        assert data["schema"] == "repro-chaos.v1"
+        assert data["trials"] == 4
+        assert data["invariant_holds"] is True
+
+    def test_fault_kinds_flag(self, capsys):
+        status = main(["chaos", HOTEL_SUS, "--seed", "2",
+                       "--trials", "4", "--faults", "crash"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "faults crash," in out       # only the crash kind ran
+        assert "crash+drop" not in out
+
+    def test_unknown_fault_kind_is_usage_error(self, capsys):
+        status = main(["chaos", HOTEL_SUS, "--faults", "gremlins"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "unknown fault kind" in err
+
+    def test_unverifiable_network_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(UNVERIFIABLE)
+        status = main(["chaos", str(path), "--trials", "2"])
+        assert status == 1
+
+    def test_no_recover_flag(self, capsys):
+        status = main(["chaos", HOTEL_SUS, "--seed", "7",
+                       "--trials", "4", "--no-recover"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "recovery off" in out
+
+    def test_missing_file_is_usage_error(self, capsys):
+        status = main(["chaos", "no/such/file.sus"])
+        assert status == 2

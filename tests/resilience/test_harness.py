@@ -1,0 +1,100 @@
+"""Tests for the chaos harness: the invariant, determinism and the
+report formats."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.resilience.harness import CHAOS_SCHEMA, run_chaos
+
+
+def hotel_clients():
+    return {figure2.LOC_CLIENT_1: figure2.client_1(),
+            figure2.LOC_CLIENT_2: figure2.client_2()}
+
+
+class TestRunChaos:
+    def test_invariant_holds_on_the_paper_module(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=15, seed=7, module="hotel")
+        assert report.invariant_holds
+        assert report.security_violations == 0
+        assert report.undiagnosed == 0
+        assert report.invalid_histories == 0
+        assert sum(report.outcomes.values()) == 15
+
+    def test_unverified_module_is_rejected(self):
+        # Without ls4 the repository offers C2 no valid plan.
+        repository = Repository({
+            figure2.LOC_BROKER: figure2.broker(),
+            "ls3": figure2.hotel_3(),
+        })
+        with pytest.raises(ReproError, match="verified module"):
+            run_chaos({figure2.LOC_CLIENT_2: figure2.client_2()},
+                      repository, trials=2, seed=0)
+
+    def test_reports_are_reproducible(self):
+        one = run_chaos(hotel_clients(), figure2.repository(),
+                        trials=8, seed=3, module="hotel")
+        two = run_chaos(hotel_clients(), figure2.repository(),
+                        trials=8, seed=3, module="hotel")
+        assert one.to_json() == two.to_json()
+        assert one.render_text() == two.render_text()
+
+    def test_different_seeds_sample_different_faults(self):
+        one = run_chaos(hotel_clients(), figure2.repository(),
+                        trials=8, seed=1, module="hotel")
+        two = run_chaos(hotel_clients(), figure2.repository(),
+                        trials=8, seed=2, module="hotel")
+        assert [r.faults for r in one.results] != \
+            [r.faults for r in two.results]
+
+    def test_diagnosed_even_without_recovery(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=10, seed=5, recover=False,
+                           module="hotel")
+        assert report.undiagnosed == 0
+        assert report.security_violations == 0
+
+    def test_byzantine_faults_never_break_validity(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=10, seed=9,
+                           kinds=("crash", "byzantine"),
+                           module="hotel")
+        assert report.invalid_histories == 0
+        assert report.security_violations == 0
+        assert report.undiagnosed == 0
+
+
+class TestReportFormats:
+    def test_json_schema_and_shape(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=4, seed=7, module="hotel")
+        data = json.loads(report.to_json())
+        assert data["schema"] == CHAOS_SCHEMA
+        assert data["module"] == "hotel"
+        assert data["seed"] == 7
+        assert data["trials"] == 4
+        assert data["invariant_holds"] is True
+        assert len(data["results"]) == 4
+        for result in data["results"]:
+            assert set(result) >= {"trial", "seed", "faults", "status",
+                                   "steps", "diagnosis",
+                                   "histories_valid"}
+
+    def test_text_report_mentions_the_invariant(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=4, seed=7, module="hotel")
+        text = report.render_text()
+        assert "invariant HOLDS" in text
+        assert "seed 7" in text
+
+    def test_no_wall_time_in_reports(self):
+        report = run_chaos(hotel_clients(), figure2.repository(),
+                           trials=3, seed=7, module="hotel")
+        data = json.loads(report.to_json())
+        assert "duration" not in json.dumps(data)
+        assert "time" not in set(data)

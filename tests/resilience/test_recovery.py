@@ -1,0 +1,108 @@
+"""Tests for backoff, compensation and failover re-planning."""
+
+from repro.core.actions import Event, FrameClose, FrameOpen
+from repro.core.validity import History, is_valid
+from repro.network.config import Component, Leaf
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.policies.library import hotel_policy
+from repro.resilience.recovery import (BackoffPolicy, compensate, replan,
+                                       residual_frame_closes)
+
+
+class TestBackoffPolicy:
+    def test_default_delays(self):
+        assert list(BackoffPolicy().delays()) == [1, 2, 4]
+
+    def test_delays_are_capped(self):
+        policy = BackoffPolicy(base=3, factor=4, max_delay=10,
+                               max_retries=4)
+        assert list(policy.delays()) == [3, 10, 10, 10]
+
+    def test_zero_retries(self):
+        assert list(BackoffPolicy(max_retries=0).delays()) == []
+
+
+def component_with_history(labels):
+    return Component(History(tuple(labels)), Leaf("lc", figure2.client_1()))
+
+
+class TestResidualFrameCloses:
+    def test_balanced_history_needs_nothing(self):
+        phi = figure2.policy_c1()
+        component = component_with_history(
+            (FrameOpen(phi), Event("sgn", (3,)), FrameClose(phi)))
+        assert residual_frame_closes(component) == ()
+
+    def test_single_open_framing(self):
+        phi = figure2.policy_c1()
+        component = component_with_history(
+            (FrameOpen(phi), Event("sgn", (3,))))
+        assert residual_frame_closes(component) == (FrameClose(phi),)
+
+    def test_nested_framings_close_innermost_first(self):
+        phi1 = figure2.policy_c1()
+        phi2 = figure2.policy_c2()
+        component = component_with_history((FrameOpen(phi1),
+                                            FrameOpen(phi2)))
+        assert residual_frame_closes(component) == \
+            (FrameClose(phi2), FrameClose(phi1))
+
+
+class TestCompensate:
+    def test_tree_collapses_and_history_balances(self):
+        phi = figure2.policy_c1()
+        component = component_with_history(
+            (FrameOpen(phi), Event("sgn", (3,))))
+        term = figure2.client_1()
+        compensated = compensate(component, "lc1", term)
+        assert compensated.tree == Leaf("lc1", term)
+        assert is_valid(compensated.history)
+        assert compensated.history.is_balanced()
+
+    def test_keeps_observed_labels(self):
+        phi = figure2.policy_c1()
+        component = component_with_history(
+            (FrameOpen(phi), Event("sgn", (3,))))
+        compensated = compensate(component, "lc1", figure2.client_1())
+        assert tuple(compensated.history)[:2] == tuple(component.history)
+
+
+class TestReplan:
+    def flaky_repository(self):
+        return Repository({
+            figure2.LOC_BROKER: figure2.broker(),
+            "ls_alpha": figure2.hotel(7, 55, 70),
+            "ls_beta": figure2.hotel(8, 50, 90),
+        })
+
+    def flaky_client(self):
+        return figure2.client("1", hotel_policy(set(), 60, 80))
+
+    def test_failover_to_the_alternative(self):
+        from repro.core.plans import Plan
+        previous = Plan.of({"1": figure2.LOC_BROKER, "3": "ls_alpha"})
+        plan = replan(self.flaky_client(), self.flaky_repository(),
+                      previous=previous, excluded=("ls_alpha",),
+                      location="lc")
+        assert plan is not None
+        assert plan.lookup("3") == "ls_beta"
+        # The healthy broker binding is preserved, not re-decided.
+        assert plan.lookup("1") == figure2.LOC_BROKER
+
+    def test_no_alternative_returns_none(self):
+        from repro.core.plans import Plan
+        previous = figure2.plan_pi1()
+        plan = replan(figure2.client_1(), figure2.repository(),
+                      previous=previous, excluded=("ls3",),
+                      location=figure2.LOC_CLIENT_1)
+        # ls3 is the only hotel valid for C1 — nothing to fail over to.
+        assert plan is None
+
+    def test_everything_excluded_returns_none(self):
+        previous = figure2.plan_pi1()
+        repository = figure2.repository()
+        plan = replan(figure2.client_1(), repository, previous=previous,
+                      excluded=tuple(repository.locations()),
+                      location=figure2.LOC_CLIENT_1)
+        assert plan is None

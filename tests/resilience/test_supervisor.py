@@ -1,0 +1,205 @@
+"""Tests for the supervisor: circuit breaker, detection, recovery and
+budgets."""
+
+import pytest
+
+from repro.core.plans import PlanVector
+from repro.core.validity import is_valid
+from repro.network.repository import Repository
+from repro.paper import figure2
+from repro.policies.library import hotel_policy
+from repro.resilience.faults import Fault, FaultPlan
+from repro.resilience.recovery import BackoffPolicy
+from repro.resilience.supervisor import (BREAKER_EDGES, CLOSED, HALF_OPEN,
+                                         OPEN, CircuitBreaker, Supervisor)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5)
+        breaker.record_failure(0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(1)
+        assert breaker.state == OPEN
+        assert not breaker.allows(2)
+
+    def test_half_opens_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5)
+        breaker.record_failure(0)
+        assert not breaker.allows(4)
+        assert breaker.allows(5)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure(0)
+        breaker.allows(2)
+        breaker.record_success(3)
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure(0)
+        breaker.allows(2)
+        breaker.record_failure(3)
+        assert breaker.state == OPEN
+        # ... and the cooldown restarts from the new failure.
+        assert not breaker.allows(4)
+        assert breaker.allows(5)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5)
+        breaker.record_failure(0)
+        breaker.record_success(1)
+        breaker.record_failure(2)
+        assert breaker.state == CLOSED
+
+    def test_transitions_follow_legal_edges(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_failure(0)
+        breaker.allows(1)
+        breaker.record_failure(1)
+        breaker.allows(2)
+        breaker.record_success(2)
+        for source, target, _tick in breaker.transitions:
+            assert (source, target) in BREAKER_EDGES
+
+
+def hotel_module():
+    clients = {figure2.LOC_CLIENT_1: figure2.client_1(),
+               figure2.LOC_CLIENT_2: figure2.client_2()}
+    plans = PlanVector((figure2.plan_pi1(), figure2.plan_pi2_valid()))
+    return clients, plans, figure2.repository()
+
+
+def flaky_module():
+    repository = Repository({
+        figure2.LOC_BROKER: figure2.broker(),
+        "ls_alpha": figure2.hotel(7, 55, 70),
+        "ls_beta": figure2.hotel(8, 50, 90),
+    })
+    clients = {"lc": figure2.client("1", hotel_policy(set(), 60, 80))}
+    from repro.core.plans import Plan
+    plans = PlanVector((Plan.of({"1": figure2.LOC_BROKER,
+                                 "3": "ls_alpha"}),))
+    return clients, plans, repository
+
+
+class TestSupervisorHappyPath:
+    def test_completes_without_faults(self):
+        clients, plans, repository = hotel_module()
+        result = Supervisor(clients, plans, repository, seed=1).run()
+        assert result.status == "completed"
+        assert result.episodes == []
+        assert result.diagnosed
+        assert all(is_valid(history) for history in result.histories)
+
+    def test_runs_are_seeded(self):
+        clients, plans, repository = hotel_module()
+        one = Supervisor(clients, plans, repository, seed=4).run()
+        two = Supervisor(clients, plans, repository, seed=4).run()
+        assert one.steps == two.steps
+        assert one.histories == two.histories
+
+
+class TestSupervisorRecovery:
+    def test_transient_drop_is_retried(self):
+        clients, plans, repository = hotel_module()
+        fault_plan = FaultPlan((Fault("drop", location="ls3",
+                                      channel="Bok", at_step=0,
+                                      duration=2),))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, seed=1).run()
+        assert result.status == "completed"
+        if result.episodes:
+            assert all(e.outcome == "retried" for e in result.episodes)
+
+    def test_crash_fails_over_to_alternative(self):
+        clients, plans, repository = flaky_module()
+        fault_plan = FaultPlan((Fault("crash", location="ls_alpha"),))
+        supervisor = Supervisor(clients, plans, repository,
+                                fault_plan=fault_plan, seed=2)
+        result = supervisor.run()
+        assert result.status == "completed"
+        assert result.replans == 1
+        assert supervisor._plans[0].lookup("3") == "ls_beta"
+        assert all(is_valid(history) for history in result.histories)
+
+    def test_compensated_history_stays_valid_after_failover(self):
+        clients, plans, repository = flaky_module()
+        # Crash mid-run, once the session with ls_alpha is open.
+        fault_plan = FaultPlan((Fault("crash", location="ls_alpha",
+                                      at_step=4),))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, seed=2).run()
+        assert result.status == "completed"
+        assert all(is_valid(history) for history in result.histories)
+        assert all(history.is_balanced() for history in result.histories)
+
+    def test_crash_without_alternative_aborts_with_diagnosis(self):
+        clients, plans, repository = hotel_module()
+        fault_plan = FaultPlan((Fault("crash", location="ls3"),))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, seed=1).run()
+        assert result.status == "aborted"
+        assert result.diagnosis is not None
+        assert "gave-up" in result.diagnosis
+        assert result.diagnosed
+
+    def test_recovery_disabled_aborts_immediately(self):
+        clients, plans, repository = hotel_module()
+        fault_plan = FaultPlan((Fault("crash", location="lbr"),))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, recover=False,
+                            seed=1).run()
+        assert result.status == "aborted"
+        assert "recovery disabled" in result.diagnosis
+        assert result.episodes == []
+
+    def test_failed_suspects_trip_the_breaker(self):
+        clients, plans, repository = flaky_module()
+        fault_plan = FaultPlan((Fault("crash", location="ls_alpha"),))
+        supervisor = Supervisor(clients, plans, repository,
+                                fault_plan=fault_plan,
+                                breaker_threshold=1, seed=2)
+        result = supervisor.run()
+        assert result.status == "completed"
+        assert supervisor.breakers["ls_alpha"].state != CLOSED
+        transitions = result.breakers["ls_alpha"]
+        assert transitions[0][:2] == (CLOSED, OPEN)
+
+
+class TestSupervisorBudgets:
+    def test_step_budget(self):
+        clients, plans, repository = hotel_module()
+        result = Supervisor(clients, plans, repository, max_steps=2,
+                            seed=1).run()
+        assert result.status == "budget-exhausted"
+        assert "step budget" in result.diagnosis
+
+    def test_deadline(self):
+        clients, plans, repository = hotel_module()
+        fault_plan = FaultPlan((Fault("drop", location="ls3",
+                                      channel="Bok"),))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=fault_plan, deadline=3,
+                            backoff=BackoffPolicy(max_retries=20),
+                            seed=1).run()
+        assert result.status == "budget-exhausted"
+        assert "deadline" in result.diagnosis
+
+
+class TestSecurityDetection:
+    def test_bad_plan_reports_violation_with_cause(self):
+        # Route C2 to the black-listed ls3: a genuine policy violation,
+        # not an injected fault — the supervisor must NOT mask it.
+        clients = {figure2.LOC_CLIENT_2: figure2.client_2()}
+        plans = PlanVector((figure2.plan_pi2_bad_security(),))
+        result = Supervisor(clients, plans, figure2.repository(),
+                            seed=1).run()
+        assert result.status == "security-violation"
+        assert result.abort_cause is not None
+        policy_name, label = result.abort_cause
+        assert policy_name == "phi"
+        assert label is not None
