@@ -36,6 +36,12 @@ REQUIRED_CACHES = (
 S2_PLANNER_KEYS = ("plans_analyzed", "plans_valid", "plans_pruned",
                    "memo_hits", "memo_misses")
 
+#: Counter keys every instrumented B1 case must have recorded.
+B1_REQUIRED_COUNTERS = ("staticcheck.explored_states",)
+
+#: Cache adapters that must additionally appear in B1 snapshots.
+B1_REQUIRED_CACHES = ("staticcheck.validity",)
+
 ACCEPTED_SCHEMAS = ("repro-bench.v2",)
 
 
@@ -109,6 +115,21 @@ def check_file(path: Path) -> list[str]:
         counters = metrics.get("counters", {})
         if not any(key.startswith("monitor.labels") for key in counters):
             errors.append(f"{where}: monitor.labels counters missing")
+    for case_index, case in enumerate(suites.get("b1", {}).get("cases",
+                                                               ())):
+        where = f"{path}: b1.cases[{case_index}]"
+        metrics = case.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}: metrics object missing")
+            continue
+        _check_snapshot(metrics, where, errors, B1_REQUIRED_COUNTERS)
+        caches = metrics.get("caches", {})
+        for name in B1_REQUIRED_CACHES:
+            stats = caches.get(name) if isinstance(caches, dict) else None
+            if not isinstance(stats, dict):
+                errors.append(f"{where}: cache stats for {name!r} missing")
+        if "explored_states" not in case:
+            errors.append(f"{where}: explored_states missing")
     return errors
 
 

@@ -18,12 +18,15 @@ process and records their ratio:
   ``ValidityMonitor``, plus the cost of monitor snapshots (``copy``);
 * **R1** — resilience: the bare simulator vs the fault-free supervised
   run (the supervision tax), and the supervised run under a transient
-  drop (retry) and a crash with an alternative (failover).
+  drop (retry) and a crash with an alternative (failover);
+* **B1** — static certification: one ``certify_validity`` pass over the
+  ⟨residual, monitor⟩ product vs K seeded monitor-checked random runs,
+  asserting the verdicts agree and rejection witnesses replay.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--output-dir DIR] [--suites s1,s2,s3,r1] [--repeats N]
+        [--output-dir DIR] [--suites s1,s2,s3,r1,b1] [--repeats N]
 
 The output file is ``BENCH_<n>.json`` with the smallest unused ``n`` in
 the output directory (repository root by default); see DESIGN.md
@@ -340,7 +343,96 @@ def run_r1(quick: bool, repeats: int) -> dict:
     }
 
 
-SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "r1": run_r1}
+# -- B1: static certification vs dynamic monitoring --------------------------
+
+def run_b1(quick: bool, repeats: int) -> dict:
+    """Static validity certification vs monitor-based dynamic checking.
+
+    The static certifier explores the ⟨residual, monitor⟩ product once
+    and settles validity for *every* run; the dynamic baseline replays
+    K seeded random runs through the concrete :class:`ValidityMonitor`
+    and can only ever sample.  Reported per workload: wall time of both,
+    the sampling factor K, verdict agreement, and (for invalid
+    workloads) whether the static witness replays.
+    """
+    import random as _random
+
+    from repro.core.actions import is_history_label
+    from repro.core.semantics import step
+    from repro.core.syntax import event, framing, seq as _seq
+    from repro.core.validity import ValidityMonitor
+    from repro.paper import figure2
+    from repro.policies.library import at_most
+    from repro.staticcheck import certify_validity
+
+    from workloads import policy_heavy_client
+
+    runs = 50 if quick else 200
+    workloads = [
+        ("figure2_c1", figure2.client_1()),
+        ("figure2_c2", figure2.client_2()),
+        ("policy_heavy", policy_heavy_client(4, 3)),
+        ("invalid_at_most", framing(at_most("boom", 2),
+                                    _seq(event("boom"), event("boom"),
+                                         event("boom")))),
+    ]
+    cases = []
+    for name, term in workloads:
+
+        def dynamic(term=term):
+            all_valid = True
+            for seed in range(runs):
+                rng = _random.Random(seed)
+                monitor = ValidityMonitor()
+                current = term
+                for _ in range(200):
+                    moves = sorted(step(current), key=repr)
+                    if not moves:
+                        break
+                    label, current = rng.choice(moves)
+                    if is_history_label(label):
+                        all_valid = monitor.extend(label) and all_valid
+            return all_valid
+
+        static_seconds = _measure(
+            lambda term=term: certify_validity(term), repeats)
+        dynamic_seconds = _measure(dynamic, repeats)
+        _clear_caches()
+        certificate = certify_validity(term)
+        sampled_valid = dynamic()
+        # Soundness cross-check: a static acceptance admits no invalid
+        # sampled run; on these deterministic-violation workloads a
+        # static rejection is also observed dynamically.
+        assert certificate.valid == sampled_valid, name
+        if not certificate.valid:
+            assert certificate.witness.replays(), name
+        metrics = _instrumented(
+            lambda term=term: certify_validity(term))
+        cases.append({
+            "workload": name,
+            "dynamic_runs": runs,
+            "static_seconds": static_seconds,
+            "dynamic_seconds": dynamic_seconds,
+            "amortisation": dynamic_seconds / max(static_seconds, 1e-9),
+            "valid": certificate.valid,
+            "explored_states": certificate.explored,
+            "witness_length": (None if certificate.witness is None
+                               else len(certificate.witness.labels)),
+            "metrics": metrics,
+        })
+        print(f"B1 {name:16s}: static {static_seconds * 1e3:8.2f} ms  "
+              f"dynamic(K={runs}) {dynamic_seconds * 1e3:8.2f} ms  "
+              f"{dynamic_seconds / max(static_seconds, 1e-9):5.1f}x")
+    return {
+        "cases": cases,
+        "verdicts_agree": True,
+        "static_amortises": all(
+            c["amortisation"] > 1.0 for c in cases if c["valid"]),
+    }
+
+
+SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "r1": run_r1,
+          "b1": run_b1}
 
 
 def next_bench_path(directory: Path) -> Path:
@@ -357,8 +449,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output-dir", type=Path, default=_ROOT,
                         help="directory for BENCH_<n>.json "
                              "(default: repository root)")
-    parser.add_argument("--suites", default="s1,s2,s3,r1",
-                        help="comma-separated subset of s1,s2,s3,r1")
+    parser.add_argument("--suites", default="s1,s2,s3,r1,b1",
+                        help="comma-separated subset of s1,s2,s3,r1,b1")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per measurement "
                              "(default: 1 with --quick, else 3)")
@@ -392,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
                 "s1", {}).get("noncompliant_onthefly_faster"),
             "s2_memoized_faster_than_eager": suites.get(
                 "s2", {}).get("memoized_faster"),
+            "b1_static_amortises_dynamic_sampling": suites.get(
+                "b1", {}).get("static_amortises"),
         },
     }
     args.output_dir.mkdir(parents=True, exist_ok=True)

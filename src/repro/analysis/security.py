@@ -62,6 +62,16 @@ class SecurityReport:
         """The placeholder report for a pruned (never-run) security pass."""
         return SecurityReport(True, 0, skipped=True)
 
+    def history_labels(self) -> tuple:
+        """The history ``η`` of the counterexample trace: the appended
+        labels of every product label, flattened in order.  Empty when the
+        check passed (there is no counterexample to flatten)."""
+        if self.counterexample is None:
+            return ()
+        return tuple(item
+                     for label in self.counterexample
+                     for item in label.appends)
+
     def __bool__(self) -> bool:
         return self.secure
 
@@ -78,11 +88,7 @@ def check_security(lts: LTS, policies: frozenset[Policy] | None = None,
     """
     if policies is None:
         policies = _policies_of(lts)
-    ordered_policies = sorted(policies, key=str)
-
-    fresh = tuple((policy, PolicyRunner(policy).freeze(), 0)
-                  for policy in ordered_policies)
-    initial = (lts.initial, fresh)
+    initial = (lts.initial, fresh_monitor_state(policies))
 
     from collections import deque
     seen = {initial}
@@ -93,7 +99,8 @@ def check_security(lts: LTS, policies: frozenset[Policy] | None = None,
         (tree_state, monitor_state), path = frontier.popleft()
         states_checked += 1
         for label, successor in lts.moves(tree_state):
-            next_monitor, violated = _advance(monitor_state, label.appends)
+            next_monitor, violated = advance_monitor(monitor_state,
+                                                     label.appends)
             new_path = path + (label,)
             if violated is not None:
                 return SecurityReport(False, states_checked,
@@ -109,8 +116,20 @@ def check_security(lts: LTS, policies: frozenset[Policy] | None = None,
     return SecurityReport(True, states_checked)
 
 
-def _advance(monitor_state: MonitorState,
-             appends: tuple) -> tuple[MonitorState, Policy | None] | None:
+def fresh_monitor_state(policies) -> MonitorState:
+    """The initial abstract monitor over *policies* (sorted by rendering,
+    so monitor states are canonical): every runner fresh, nothing active.
+
+    Shared with :mod:`repro.staticcheck.validity`, which runs the same
+    abstract monitor over the residuals of a single history expression
+    instead of an assembled session product.
+    """
+    return tuple((policy, PolicyRunner(policy).freeze(), 0)
+                 for policy in sorted(policies, key=str))
+
+
+def advance_monitor(monitor_state: MonitorState,
+                    appends: tuple) -> tuple[MonitorState, Policy | None]:
     """Advance the abstract monitor by the appended history labels.
 
     Returns ``(new_state, violated_policy_or_None)``; returns the input

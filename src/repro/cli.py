@@ -19,6 +19,7 @@ Commands::
 
     repro check NETWORK.{toml,sus}        # parse + well-formedness + lint
     repro lint NETWORK.sus [...]          # static diagnostics (SUS0xx)
+    repro analyze NETWORK.{toml,sus}      # whole-network static certifier
     repro verify NETWORK.toml             # plan synthesis (Section 5)
     repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
@@ -223,6 +224,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if worst is not None and worst >= threshold else 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Whole-network abstract interpretation (repro.staticcheck)."""
+    import json as _json
+
+    from repro.staticcheck import analyze_module
+    module = load_module(args.network)
+    analysis = analyze_module(module, max_plans=args.max_plans)
+    if args.format == "json":
+        print(_json.dumps(analysis.to_json(), indent=2, sort_keys=True))
+    else:
+        print(analysis.render_text())
+    return 0 if analysis.ok else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     verdict = verify_network(network.clients, network.repository,
@@ -386,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze", help="statically certify validity, compliance and "
+                        "plans, with counterexample witnesses")
+    analyze.add_argument("network")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="output format: human text (default) or "
+                              "deterministic JSON (repro-analyze.v1)")
+    analyze.add_argument("--max-plans", type=int, default=None,
+                         help="bound on the candidate plans per client")
+    analyze.set_defaults(func=_cmd_analyze)
 
     verify = sub.add_parser("verify", help="synthesise valid plans")
     verify.add_argument("network")

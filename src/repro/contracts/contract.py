@@ -49,14 +49,33 @@ track_cache("contracts.lts", _lts_of)
 #: :func:`contract_cache_stats`).
 _CACHE_NAMES = ("contracts.projection", "contracts.lts")
 
+#: Extra cache-clearing callbacks run by :func:`clear_contract_caches`.
+#: Higher layers (``repro.staticcheck`` in particular) memoise results
+#: *derived from* contracts; stale derivations after a cache reset would
+#: desynchronise benchmarks and cache-stats baselines, so they register
+#: their own clearers here instead of this module importing them (which
+#: would invert the layering).
+_EXTRA_CLEARERS: list = []
+
+
+def register_cache_clearer(clearer) -> None:
+    """Register *clearer* (a zero-argument callable) to run whenever
+    :func:`clear_contract_caches` is invoked.  Idempotent per callable."""
+    if clearer not in _EXTRA_CLEARERS:
+        _EXTRA_CLEARERS.append(clearer)
+
 
 def clear_contract_caches() -> None:
     """Drop the shared projection and LTS caches (benchmark hygiene) and
     rebaseline their telemetry adapters, so hit/miss counts read from a
-    clean slate afterwards."""
+    clean slate afterwards.  Registered higher-layer clearers (see
+    :func:`register_cache_clearer`) run as well, so memo tables derived
+    from contracts never outlive the contracts themselves."""
     _projection_of.cache_clear()
     _lts_of.cache_clear()
     reset_cache_stats(*_CACHE_NAMES)
+    for clearer in _EXTRA_CLEARERS:
+        clearer()
 
 
 def contract_cache_stats() -> dict[str, dict[str, int]]:

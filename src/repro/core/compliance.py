@@ -23,7 +23,11 @@ Three independent deciders are provided:
   compliance is a safety property (Theorem 2), the BFS short-circuits at
   the first reachable stuck pair, never materialising the full product;
 * ``check_compliance(..., engine="eager")`` goes through the explicit
-  product automaton, as the paper's construction literally reads.
+  product automaton, as the paper's construction literally reads;
+* ``check_compliance(..., engine="gfp")`` re-derives the relation as the
+  largest fixpoint on the ready-set product
+  (:func:`repro.staticcheck.compliance.certify_compliance`), producing a
+  stuck-configuration witness with the refusing ready sets on failure.
 
 The test suite checks that they all agree on randomly generated
 contracts — a machine check of Theorems 1 and 2.
@@ -36,7 +40,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.actions import co, is_input, is_output
-from repro.core.ready_sets import co_set, ready_sets
+from repro.core.ready_sets import unmatched_pairs
 from repro.core.syntax import HistoryExpression
 from repro.contracts.contract import Contract
 from repro.contracts.product import (PairState, ProductAutomaton,
@@ -113,8 +117,19 @@ def _check(client: HistoryExpression | Contract,
         assert trace is not None
         return ComplianceResult(False, witness=trace[-1], trace=trace,
                                 explored_states=explored)
+    if engine == "gfp":
+        # Imported lazily: repro.staticcheck layers on top of this module.
+        from repro.staticcheck.compliance import certify_compliance
+        certificate = certify_compliance(client_c, server_c)
+        if certificate.compliant:
+            return ComplianceResult(True,
+                                    explored_states=certificate.pairs)
+        assert certificate.witness is not None
+        trace = certificate.witness.trace
+        return ComplianceResult(False, witness=trace[-1], trace=trace,
+                                explored_states=certificate.pairs)
     raise ValueError(f"unknown compliance engine {engine!r} "
-                     "(expected 'onthefly' or 'eager')")
+                     "(expected 'onthefly', 'eager' or 'gfp')")
 
 
 def compliant(client: HistoryExpression | Contract,
@@ -167,13 +182,7 @@ def compliant_coinductive(client: HistoryExpression | Contract,
 def _ready_set_condition(h1: HistoryExpression,
                          h2: HistoryExpression) -> bool:
     """Property (1) of Definition 4 on the pair ``⟨h1, h2⟩``."""
-    for c_set in ready_sets(h1):
-        if not c_set:
-            continue
-        for s_set in ready_sets(h2):
-            if not (c_set & co_set(s_set)):
-                return False
-    return True
+    return not unmatched_pairs(h1, h2)
 
 
 @lru_cache(maxsize=4096)

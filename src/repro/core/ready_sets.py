@@ -65,3 +65,27 @@ def co_set(actions: ReadySet) -> ReadySet:
     return frozenset(
         Receive(a.channel) if isinstance(a, Send) else Send(a.channel)
         for a in actions)
+
+
+def unmatched_pairs(client: HistoryExpression, server: HistoryExpression
+                    ) -> tuple[tuple[ReadySet, ReadySet], ...]:
+    """The ready-set pairs refusing property (1) of Definition 4.
+
+    Every returned pair ``(C, S)`` has ``client ⇓ C``, ``server ⇓ S``,
+    ``C ≠ ∅`` and ``C ∩ S̄ = ∅``: the client insists on an action from
+    ``C`` while the server may present ``S``, which offers no co-action.
+    Empty iff the pair satisfies the ready-set condition.  Pairs are
+    sorted by their rendering, so witnesses built from them are
+    deterministic across processes.
+    """
+    refusals = []
+    for c_set in ready_sets(client):
+        if not c_set:
+            continue
+        for s_set in ready_sets(server):
+            if not (c_set & co_set(s_set)):
+                refusals.append((c_set, s_set))
+    return tuple(sorted(
+        refusals,
+        key=lambda pair: (sorted(str(a) for a in pair[0]),
+                          sorted(str(a) for a in pair[1]))))

@@ -31,6 +31,9 @@ SUS012    overlapping-edges        info      unconditional nondeterminism
 SUS020    dead-external-branch     warning   inputs nobody can emit
 SUS030    doomed-request           error     no compliant service exists
 SUS031    unclosed-residual        error     unbalanced session/framing
+SUS040    statically-invalid-plan  error     all compliant plans insecure
+SUS041    non-compliant-request-pair warning  stuck pair of a doomed request
+SUS042    unsatisfiable-request    error     unsat core: plan can't exist
 ========  =======================  ========  ==============================
 """
 

@@ -148,6 +148,7 @@ def default_registry() -> RuleRegistry:
         # Importing the rule modules registers their rules as a side
         # effect; the flag keeps this idempotent and cheap.
         from repro.lint import (rules_contracts, rules_lang,  # noqa: F401
-                                rules_network, rules_policies)
+                                rules_network, rules_policies,
+                                rules_staticcheck)
         _LOADED = True
     return DEFAULT_REGISTRY

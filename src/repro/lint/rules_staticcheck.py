@@ -1,0 +1,166 @@
+"""Static-certification lint rules: plan failures with witnesses.
+
+The SUS04x group surfaces the whole-network abstract interpretation
+(:mod:`repro.staticcheck`) through the lint pipeline.  For every client
+without a valid plan, the minimal unsatisfiable core computed by
+:func:`~repro.staticcheck.plans.explain_no_valid_plan` is translated
+into diagnostics with spans on the offending declarations:
+
+* ``SUS040 statically-invalid-plan`` — the security constraint is in
+  the core: every plan whose bindings all comply still reaches a policy
+  violation.  The message carries the offending history (replayable via
+  ``repro analyze``).
+* ``SUS041 non-compliant-request-pair`` — one candidate service refuses
+  a *doomed* request (one no candidate complies with), with the
+  unmatched ready sets of the stuck configuration.  Refusals of
+  requests some other candidate can serve are not reported: the planner
+  routes around them.
+* ``SUS042 unsatisfiable-request`` — a client has no valid plan because
+  some request cannot be served at all; the fix-it hint renders the
+  whole minimal unsatisfiable core.
+
+The explanations are memoised per lint context (and globally by the
+staticcheck layer), so the three rules share one certification pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import ReproError
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import DEFAULT_REGISTRY as _REGISTRY
+from repro.staticcheck.plans import CoreConstraint, explain_no_valid_plan
+from repro.staticcheck.witness import StuckWitness
+
+
+def _client_reports(ctx: LintContext) -> tuple:
+    """``(name, declaration, explanation)`` for every client *without* a
+    valid plan, computed once per context and shared by the SUS04x
+    rules.  Clients whose certification itself fails (state-space
+    blowup, malformed term) are skipped — unknown is never a finding."""
+    cached = getattr(ctx, "_staticcheck_reports", None)
+    if cached is not None:
+        return cached
+    declarations = {decl.name: decl for decl in ctx.term_declarations}
+    reports = []
+    try:
+        repository = ctx.module.repository
+    except (ReproError, TypeError, ValueError):
+        repository = None
+    if repository is not None:
+        for name, term in ctx.module.clients.items():
+            try:
+                explanation = explain_no_valid_plan(term, repository,
+                                                    location=name)
+            except (ReproError, TypeError, ValueError):
+                continue
+            if explanation is not None:
+                reports.append((name, declarations.get(name), explanation))
+    ctx._staticcheck_reports = tuple(reports)
+    return ctx._staticcheck_reports
+
+
+@_REGISTRY.rule("SUS040", "statically-invalid-plan", Severity.ERROR,
+                "every complete compliant plan of a client reaches a "
+                "policy violation")
+def statically_invalid_plan(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS040")
+    for name, decl, explanation in _client_reports(ctx):
+        if not any(constraint.kind == "security"
+                   for constraint in explanation.core):
+            continue
+        witness = explanation.security_witness
+        offender = ""
+        if witness is not None:
+            history = " . ".join(str(label) for label in witness.labels)
+            offender = (f": the history {history} violates policy "
+                        f"{witness.policy}")
+        yield rule.diagnostic(
+            f"client {name!r} has no valid plan — every plan whose "
+            f"bindings all comply reaches a policy violation{offender}",
+            span=None if decl is None else ctx.span_of(decl),
+            declaration=name,
+            hint="`repro analyze` prints the replayable witness and the "
+                 "full unsatisfiable core")
+
+
+@_REGISTRY.rule("SUS041", "non-compliant-request-pair", Severity.WARNING,
+                "a candidate service refuses a request no candidate "
+                "complies with")
+def non_compliant_request_pair(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS041")
+    reported: set[tuple[str, str | None, str]] = set()
+    for name, decl, explanation in _client_reports(ctx):
+        for constraint in explanation.core:
+            if constraint.kind != "compliance" or constraint.compliant:
+                continue
+            for refusal in constraint.refusals:
+                key = (name, constraint.request, refusal.location)
+                if key in reported:
+                    continue
+                reported.add(key)
+                span = None
+                if decl is not None:
+                    span = (ctx.request_span(decl, constraint.request)
+                            or ctx.span_of(decl))
+                yield rule.diagnostic(
+                    f"request {constraint.request} of {name!r} cannot be "
+                    f"served by {refusal.location!r}"
+                    f"{_refusal_detail(refusal.witness)}",
+                    span=span, declaration=name,
+                    hint="the stuck configuration replays concretely — "
+                         "`repro analyze` prints the synchronisation "
+                         "path into it")
+
+
+@_REGISTRY.rule("SUS042", "unsatisfiable-request", Severity.ERROR,
+                "a client has no valid plan because some request cannot "
+                "be served at all")
+def unsatisfiable_request(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS042")
+    for name, decl, explanation in _client_reports(ctx):
+        doomed = [constraint for constraint in explanation.core
+                  if constraint.kind == "completeness"
+                  or (constraint.kind == "compliance"
+                      and not constraint.compliant)]
+        if not doomed:
+            continue
+        requests = ", ".join(sorted({str(constraint.request)
+                                     for constraint in doomed}))
+        core = " and ".join(_constraint_text(constraint)
+                            for constraint in explanation.core)
+        yield rule.diagnostic(
+            f"client {name!r} has no valid plan: request(s) {requests} "
+            "cannot be served by any candidate service",
+            span=None if decl is None else ctx.span_of(decl),
+            declaration=name,
+            hint=f"minimal unsatisfiable core: {core}")
+
+
+def _refusal_detail(witness: StuckWitness | None) -> str:
+    """The first unmatched ready-set pair, rendered inline."""
+    if witness is None or not witness.unmatched:
+        return ""
+    client_set, server_set = witness.unmatched[0]
+    return (f": the client insists on {_render_ready(client_set)} but "
+            f"the service may present {_render_ready(server_set)}")
+
+
+def _render_ready(actions) -> str:
+    return "{" + ", ".join(sorted(str(action) for action in actions)) + "}"
+
+
+def _constraint_text(constraint: CoreConstraint) -> str:
+    if constraint.kind == "security":
+        return "security (the assembled behaviour must stay valid)"
+    if constraint.kind == "completeness":
+        return (f"completeness(request {constraint.request}: no candidate "
+                "service)")
+    if constraint.compliant:
+        complying = ", ".join(constraint.compliant)
+        return (f"compliance(request {constraint.request}: only "
+                f"{complying} comply)")
+    return (f"compliance(request {constraint.request}: every candidate "
+            "refuses)")

@@ -17,10 +17,14 @@ BROKEN = str(EXAMPLES / "broken_booking.sus")
 
 #: What the checked-in broken example must report (the acceptance
 #: criterion of the lint engine): exactly these codes, at these spans.
+#: SUS041 fires twice at the same span (once per refusing candidate).
 BROKEN_EXPECTED = {
-    ("SUS011", 17, 8),
-    ("SUS020", 19, 69),
-    ("SUS030", 20, 19),
+    ("SUS011", 26, 8),
+    ("SUS020", 28, 69),
+    ("SUS030", 29, 19),
+    ("SUS040", 40, 8),
+    ("SUS041", 29, 19),
+    ("SUS042", 29, 8),
 }
 
 
@@ -35,10 +39,11 @@ class TestLintText:
         # INFO diagnostics (hotel's ls2) never affect the exit code.
         assert main(["lint", "--strict", HOTEL, LAMBDA]) == 0
 
-    def test_broken_example_reports_exactly_three(self, capsys):
+    def test_broken_example_reports_expected_set(self, capsys):
         assert main(["lint", BROKEN]) == 1
         out = capsys.readouterr().out
         found = set()
+        fired = []
         for line in out.splitlines():
             if not line.startswith(BROKEN):
                 continue
@@ -46,7 +51,12 @@ class TestLintText:
             line_no, col_no = location.split(":")
             code = rest.split()[1].rstrip(":")
             found.add((code, int(line_no), int(col_no)))
+            fired.append(code)
         assert found == BROKEN_EXPECTED
+        # Both refusing candidates (lbr, ls1) are reported for request 9.
+        assert fired.count("SUS041") == 2
+        # The SUS040 message carries the offending history.
+        assert "@sgn(1)" in out
 
     def test_warnings_fail_only_under_strict(self):
         fixture = str(FIXTURES / "vacuous_policy.sus")

@@ -1,0 +1,94 @@
+"""Property-based checks of the static certification layer.
+
+Soundness is machine-checked from both directions:
+
+* every *rejection* must be concretely replayable — validity witnesses
+  re-run through the :class:`ValidityMonitor`, stuck witnesses re-walk
+  the contract transition systems;
+* every *acceptance* must over-approximate the concrete semantics — a
+  may-label analysis that misses a label some run produces, or a valid
+  certificate for a term with an invalid run, is a soundness bug.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compliance import compliant_coinductive
+from repro.core.errors import StateSpaceLimitError
+from repro.core.semantics import step
+from repro.core.validity import History, ValidityMonitor, is_valid
+from repro.core.actions import is_history_label
+from repro.staticcheck import (analyse_labels, certify_compliance,
+                               certify_validity)
+
+from tests.strategies import contracts, history_expressions
+
+
+def random_run(term, seed, max_steps=40):
+    """One random maximal (bounded) run of *term*: its emitted labels."""
+    rng = random.Random(seed)
+    labels = []
+    current = term
+    for _ in range(max_steps):
+        moves = sorted(step(current), key=repr)
+        if not moves:
+            break
+        label, current = rng.choice(moves)
+        labels.append(label)
+    return labels
+
+
+@settings(max_examples=60, deadline=None)
+@given(term=history_expressions(max_depth=3),
+       seed=st.integers(0, 2**16))
+def test_may_labels_over_approximate_every_run(term, seed):
+    analysis = analyse_labels(term)
+    for label in random_run(term, seed):
+        assert label in analysis.may, (term, label)
+
+
+@settings(max_examples=60, deadline=None)
+@given(term=history_expressions(max_depth=3))
+def test_must_is_below_may(term):
+    analysis = analyse_labels(term)
+    assert analysis.must <= analysis.may <= analysis.universe
+
+
+@settings(max_examples=50, deadline=None)
+@given(term=history_expressions(max_depth=3),
+       seed=st.integers(0, 2**16))
+def test_validity_certificates_are_sound_both_ways(term, seed):
+    try:
+        certificate = certify_validity(term, max_states=20_000)
+    except StateSpaceLimitError:
+        assume(False)
+    if certificate.valid:
+        # Acceptance: no concrete run may produce an invalid history.
+        history = History(tuple(
+            label for label in random_run(term, seed)
+            if is_history_label(label)))
+        assert is_valid(history), (term, history)
+    else:
+        # Rejection: the witness must replay sharply in the monitor.
+        witness = certificate.witness
+        assert witness.replays(), (term, witness)
+        monitor = ValidityMonitor()
+        for label in witness.labels[:-1]:
+            assert monitor.extend(label)
+        assert not monitor.extend(witness.labels[-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(client=contracts(max_depth=3), server=contracts(max_depth=3))
+def test_compliance_certificates_agree_and_replay(client, server):
+    try:
+        certificate = certify_compliance(client, server,
+                                         max_states=20_000)
+    except StateSpaceLimitError:
+        assume(False)
+    assert certificate.compliant == compliant_coinductive(client, server)
+    if not certificate.compliant:
+        assert certificate.witness is not None
+        assert certificate.witness.replays(), (client, server)
