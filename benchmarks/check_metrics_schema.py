@@ -6,6 +6,12 @@ a benchmark file whose cases stopped carrying the instrumentation
 snapshot (counters, cache hit/miss stats, explored-state counts) fails
 the build, so the observability layer cannot silently rot.
 
+Accepts every historical schema (``repro-bench.v1``/``v2``/``v3``); on
+v3 files it additionally requires the per-engine warm timings,
+compile-time split and verdict-agreement flags on S1 cases, and the
+certifier cases (with the compiled term-table cache in their snapshot)
+on S3.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_metrics_schema.py BENCH_*.json
@@ -42,7 +48,23 @@ B1_REQUIRED_COUNTERS = ("staticcheck.explored_states",)
 #: Cache adapters that must additionally appear in B1 snapshots.
 B1_REQUIRED_CACHES = ("staticcheck.validity",)
 
-ACCEPTED_SCHEMAS = ("repro-bench.v2",)
+ACCEPTED_SCHEMAS = ("repro-bench.v1", "repro-bench.v2", "repro-bench.v3")
+
+#: Engines whose warm solve time every v3 S1 case must report.
+V3_S1_ENGINES = ("onthefly", "eager", "gfp", "compiled")
+
+#: Keys every v3 S1 case must carry beside the timings.
+V3_S1_CASE_KEYS = ("compile_seconds", "compiled_speedup",
+                   "verdicts_agree")
+
+#: Keys every v3 S3 certifier case must carry.
+V3_S3_CERTIFIER_KEYS = ("interpreted_seconds", "compiled_seconds",
+                        "compile_seconds", "compiled_speedup",
+                        "certificates_identical", "explored_states")
+
+#: Cache adapter that must appear in v3 S3 certifier snapshots: the
+#: compiled term-table memo proves the compiled path actually ran.
+V3_S3_CERTIFIER_CACHE = "compiled.validity_terms"
 
 
 def _check_snapshot(metrics: dict, where: str, errors: list[str],
@@ -68,6 +90,23 @@ def _check_snapshot(metrics: dict, where: str, errors: list[str],
                 errors.append(f"{where}: cache {name!r} lacks {field!r}")
 
 
+def _check_v3_s1_case(case: dict, where: str,
+                      errors: list[str]) -> None:
+    engine_seconds = case.get("engine_seconds")
+    if not isinstance(engine_seconds, dict):
+        errors.append(f"{where}: engine_seconds missing (v3)")
+    else:
+        for engine in V3_S1_ENGINES:
+            if engine not in engine_seconds:
+                errors.append(f"{where}: engine_seconds lacks "
+                              f"{engine!r}")
+    for key in V3_S1_CASE_KEYS:
+        if key not in case:
+            errors.append(f"{where}: key {key!r} missing (v3)")
+    if case.get("verdicts_agree") is not True:
+        errors.append(f"{where}: verdicts_agree is not true")
+
+
 def check_file(path: Path) -> list[str]:
     errors: list[str] = []
     try:
@@ -81,10 +120,17 @@ def check_file(path: Path) -> list[str]:
                       f"{ACCEPTED_SCHEMAS}")
         return errors
 
+    if schema == "repro-bench.v1":
+        # v1 predates the instrumentation snapshots: schema recognised,
+        # nothing further to require.
+        return errors
+    v3 = schema == "repro-bench.v3"
     suites = report.get("suites", {})
     for case_index, case in enumerate(suites.get("s1", {}).get("cases",
                                                                ())):
         where = f"{path}: s1.cases[{case_index}]"
+        if v3:
+            _check_v3_s1_case(case, where, errors)
         metrics = case.get("metrics")
         if not isinstance(metrics, dict):
             errors.append(f"{where}: metrics object missing")
@@ -115,6 +161,23 @@ def check_file(path: Path) -> list[str]:
         counters = metrics.get("counters", {})
         if not any(key.startswith("monitor.labels") for key in counters):
             errors.append(f"{where}: monitor.labels counters missing")
+    if v3 and "s3" in suites:
+        certifier_cases = suites["s3"].get("certifier_cases")
+        if not isinstance(certifier_cases, list) or not certifier_cases:
+            errors.append(f"{path}: s3.certifier_cases missing (v3)")
+        else:
+            for case_index, case in enumerate(certifier_cases):
+                where = f"{path}: s3.certifier_cases[{case_index}]"
+                for key in V3_S3_CERTIFIER_KEYS:
+                    if key not in case:
+                        errors.append(f"{where}: key {key!r} missing")
+                metrics = case.get("metrics")
+                caches = (metrics.get("caches", {})
+                          if isinstance(metrics, dict) else {})
+                if V3_S3_CERTIFIER_CACHE not in caches:
+                    errors.append(
+                        f"{where}: cache stats for "
+                        f"{V3_S3_CERTIFIER_CACHE!r} missing")
     for case_index, case in enumerate(suites.get("b1", {}).get("cases",
                                                                ())):
         where = f"{path}: b1.cases[{case_index}]"

@@ -7,15 +7,20 @@ Unlike the pytest-benchmark suites (``test_s*.py``), which measure one
 code path per test, this runner measures *pairs* of paths in the same
 process and records their ratio:
 
-* **S1** — product-automaton emptiness: the eager explicit construction
-  (``build_product``) vs the on-the-fly BFS (``check_compliance``), on
-  compliant pairs and on non-compliant pairs with deep and shallow
-  counterexamples;
+* **S1** — product-automaton emptiness: every compliance engine
+  (``onthefly``, ``eager``, ``gfp``, ``compiled`` — plus the compiled
+  gfp relation) timed *warm* on the same cases, with the compiled
+  engine's table-lowering time reported separately and verdict
+  agreement asserted across all engines, on compliant pairs and on
+  non-compliant pairs with deep and shallow counterexamples;
 * **S2** — plan synthesis: ``find_valid_plans`` with memoisation and
   pruning off vs on (and, optionally, the parallel path), asserting the
   valid/invalid partitions agree;
 * **S3** — validity: the declarative checker vs the incremental
-  ``ValidityMonitor``, plus the cost of monitor snapshots (``copy``);
+  ``ValidityMonitor`` plus monitor snapshots (``copy``), and the
+  *certifier* scaling family: the interpreted ⟨residual, monitor⟩
+  product BFS vs the compiled interned one on ``policy_grid_client``,
+  certificates asserted identical;
 * **R1** — resilience: the bare simulator vs the fault-free supervised
   run (the supervision tax), and the supervised run under a transient
   drop (retry) and a crash with an alternative (failover);
@@ -50,7 +55,6 @@ for entry in (str(_ROOT / "src"), str(_HERE)):
 from repro.analysis.planner import find_valid_plans  # noqa: E402
 from repro.contracts.contract import (Contract,  # noqa: E402
                                       clear_contract_caches)
-from repro.contracts.product import build_product  # noqa: E402
 from repro.core import compliance  # noqa: E402
 from repro.core.actions import Event, FrameClose, FrameOpen  # noqa: E402
 from repro.core.compliance import check_compliance  # noqa: E402
@@ -97,55 +101,149 @@ def _measure(fn, repeats: int) -> float:
     return best
 
 
+def _measure_warm(fn, repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` with caches left *warm*:
+    one untimed call builds whatever LTS/tables/memos the path needs, so
+    the repeats time the solve alone.  Result memos are bypassed by the
+    callers (``__wrapped__`` / engine internals), never by this helper —
+    a warm interpreted run still re-steps and re-hashes per state, which
+    is exactly the cost the compiled tables amortise."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
 # -- S1: product emptiness ---------------------------------------------------
 
+S1_ENGINES = ("onthefly", "eager", "gfp", "compiled")
+
+
 def run_s1(quick: bool, repeats: int) -> dict:
+    from repro.compiled.search import compiled_relation, compiled_search
+    from repro.compiled.tables import compile_contract
+    from repro.contracts.product import (DEFAULT_STATE_LIMIT,
+                                         search_product)
+    from repro.staticcheck import compliance as static_compliance
+
     sizes = [(2, 2), (3, 3)] if quick else [(2, 2), (2, 4), (3, 3),
-                                            (4, 2), (4, 3), (4, 4)]
+                                            (4, 2), (4, 3), (4, 4),
+                                            (5, 4)]
     cases = []
     for width, depth in sizes:
         client = wide_client(width, depth)
-        compliant_server = wide_server(width, depth)
-        for kind, server in [
-                ("compliant", compliant_server),
-                ("noncompliant_deep",
-                 almost_compliant_server(width, depth)),
-                ("noncompliant_shallow",
-                 almost_compliant_server(width, depth,
-                                         surprise_level=depth - 1))]:
-            eager = _measure(
-                lambda: check_compliance(client, server, engine="eager"),
-                repeats)
-            onthefly = _measure(
-                lambda: check_compliance(client, server), repeats)
+        kinds = [
+            ("compliant", wide_server(width, depth)),
+            ("noncompliant_deep", almost_compliant_server(width, depth)),
+            ("noncompliant_shallow",
+             almost_compliant_server(width, depth,
+                                     surprise_level=depth - 1))]
+        if width * depth >= 20:
+            # The headline size exists to exercise the largest compliant
+            # product; the non-compliant kinds would add minutes of
+            # eager/gfp full-product time without new information.
+            kinds = kinds[:1]
+        for kind, server in kinds:
+            # Lower both contracts cold: the wall time of projecting,
+            # building the LTSs and interning the tables is the price
+            # the compiled engine pays exactly once per contract.
             _clear_caches()
-            result = check_compliance(client, server)
-            eager_states = len(build_product(Contract(client),
-                                             Contract(server)).lts)
+            client_c, server_c = Contract(client), Contract(server)
+            start = time.perf_counter()
+            compiled_client = compile_contract(client_c)
+            compiled_server = compile_contract(server_c)
+            compile_seconds = time.perf_counter() - start
+
+            cproj, sproj = client_c.term, server_c.term
+            engine_seconds = {
+                "onthefly": _measure_warm(
+                    lambda: search_product(client_c, server_c), repeats),
+                "eager": _measure_warm(
+                    lambda: check_compliance(client_c, server_c,
+                                             engine="eager"), repeats),
+                "gfp": _measure_warm(
+                    lambda: static_compliance._certify.__wrapped__(
+                        cproj, sproj, DEFAULT_STATE_LIMIT), repeats),
+                "compiled": _measure_warm(
+                    lambda: compiled_search(compiled_client,
+                                            compiled_server,
+                                            DEFAULT_STATE_LIMIT),
+                    repeats),
+                "gfp_compiled": _measure_warm(
+                    lambda: compiled_relation(compiled_client,
+                                              compiled_server,
+                                              DEFAULT_STATE_LIMIT),
+                    repeats),
+            }
+
+            # Verdict agreement through the public decider, all engines.
+            results = {engine: check_compliance(client, server,
+                                                engine=engine)
+                       for engine in S1_ENGINES}
+            verdicts = {engine: result.compliant
+                        for engine, result in results.items()}
+            assert len(set(verdicts.values())) == 1, \
+                (width, depth, kind, verdicts)
+            result = results["onthefly"]
+            assert result.explored_states == \
+                results["compiled"].explored_states, (width, depth, kind)
+            assert result.trace == results["compiled"].trace, \
+                (width, depth, kind)
+
             metrics = _instrumented(
                 lambda: check_compliance(client, server))
+            onthefly = engine_seconds["onthefly"]
+            compiled_solve = engine_seconds["compiled"]
+            speedup = onthefly / max(compiled_solve, 1e-9)
             cases.append({
                 "width": width, "depth": depth, "kind": kind,
                 "compliant": result.compliant,
-                "eager_seconds": eager,
-                "onthefly_seconds": onthefly,
-                "eager_states": eager_states,
+                "engine_seconds": engine_seconds,
+                "compile_seconds": compile_seconds,
+                "table_bytes": (compiled_client.table_bytes()
+                                + compiled_server.table_bytes()),
+                "eager_states": results["eager"].explored_states,
                 "onthefly_states": result.explored_states,
-                "speedup": eager / max(onthefly, 1e-9),
+                "verdicts_agree": True,
+                "eager_over_onthefly": (engine_seconds["eager"]
+                                        / max(onthefly, 1e-9)),
+                "compiled_speedup": speedup,
                 "metrics": metrics,
             })
             print(f"S1 w={width} d={depth} {kind:21s}: "
-                  f"eager {eager * 1e3:8.2f} ms ({eager_states:5d} st)  "
-                  f"on-the-fly {onthefly * 1e3:8.2f} ms "
+                  f"onthefly {onthefly * 1e3:8.2f} ms "
                   f"({result.explored_states:5d} st)  "
-                  f"{eager / max(onthefly, 1e-9):5.1f}x")
+                  f"eager {engine_seconds['eager'] * 1e3:8.2f} ms  "
+                  f"gfp {engine_seconds['gfp'] * 1e3:8.2f} ms  "
+                  f"compiled {compiled_solve * 1e3:8.3f} ms "
+                  f"(+{compile_seconds * 1e3:7.1f} ms compile)  "
+                  f"{speedup:7.1f}x")
     noncompliant = [c for c in cases if not c["compliant"]]
+    largest = max(c["width"] * c["depth"] for c in cases)
+    largest_speedups = [c["compiled_speedup"] for c in cases
+                        if c["width"] * c["depth"] == largest]
     return {
         "cases": cases,
+        "verdicts_agree": True,
         "noncompliant_onthefly_faster": all(
-            c["speedup"] > 1.0 for c in noncompliant),
+            c["eager_over_onthefly"] > 1.0 for c in noncompliant),
         "noncompliant_mean_speedup": (
-            sum(c["speedup"] for c in noncompliant) / len(noncompliant)),
+            sum(c["eager_over_onthefly"] for c in noncompliant)
+            / len(noncompliant)),
+        "compiled_median_speedup": _median(
+            [c["compiled_speedup"] for c in cases]),
+        "compiled_largest_case_speedup": _median(largest_speedups),
     }
 
 
@@ -252,10 +350,78 @@ def run_s3(quick: bool, repeats: int) -> dict:
               f"monitor {incremental * 1e3:8.2f} ms  "
               f"copy {copy_seconds * 1e6:7.1f} us  "
               f"{declarative / max(incremental, 1e-9):5.1f}x")
+
+    certifier_cases = _run_s3_certifiers(quick, repeats)
     return {
         "cases": cases,
         "monitor_faster": all(c["speedup"] > 1.0 for c in cases),
+        "certifier_cases": certifier_cases,
+        "certifier_median_compiled_speedup": _median(
+            [c["compiled_speedup"] for c in certifier_cases]),
+        "certifier_largest_case_speedup": certifier_cases[-1][
+            "compiled_speedup"],
+        "certificates_identical": True,
     }
+
+
+def _run_s3_certifiers(quick: bool, repeats: int) -> list[dict]:
+    """Interpreted vs compiled static validity certification on the
+    ``policy_grid_client`` family.
+
+    Both engines are timed warm through their solve paths (``_certify``
+    unwrapped of its result memo; the compiled BFS with the term table
+    prebuilt), the table-lowering time is reported separately, and the
+    certificates — verdict, explored count, witness — are asserted
+    identical."""
+    from repro.compiled.validity import (_compile_term,
+                                         compiled_certify_validity)
+    from repro.staticcheck import validity as static_validity
+    from repro.staticcheck.validity import (
+        DEFAULT_STATE_LIMIT, certify_validity)
+
+    from workloads import policy_grid_client
+
+    grid = [(3, 3, 3)] if quick else [(3, 3, 3), (3, 3, 4), (2, 4, 4),
+                                      (3, 4, 4)]
+    certifier_cases = []
+    for policies, width, depth in grid:
+        term = policy_grid_client(policies, width, depth)
+        _clear_caches()
+        start = time.perf_counter()
+        _compile_term(term)
+        compile_seconds = time.perf_counter() - start
+        interpreted = _measure_warm(
+            lambda: static_validity._certify.__wrapped__(
+                term, DEFAULT_STATE_LIMIT), repeats)
+        compiled_solve = _measure_warm(
+            lambda: compiled_certify_validity(term, DEFAULT_STATE_LIMIT),
+            repeats)
+        certificate = compiled_certify_validity(term, DEFAULT_STATE_LIMIT)
+        reference = static_validity._certify.__wrapped__(
+            term, DEFAULT_STATE_LIMIT)
+        assert (reference.valid, reference.explored, reference.witness) \
+            == (certificate.valid, certificate.explored,
+                certificate.witness), (policies, width, depth)
+        metrics = _instrumented(
+            lambda: certify_validity(term, engine="compiled"))
+        speedup = interpreted / max(compiled_solve, 1e-9)
+        certifier_cases.append({
+            "policies": policies, "width": width, "depth": depth,
+            "valid": certificate.valid,
+            "explored_states": certificate.explored,
+            "interpreted_seconds": interpreted,
+            "compiled_seconds": compiled_solve,
+            "compile_seconds": compile_seconds,
+            "compiled_speedup": speedup,
+            "certificates_identical": True,
+            "metrics": metrics,
+        })
+        print(f"S3 certify p={policies} w={width} d={depth}: "
+              f"interpreted {interpreted * 1e3:8.2f} ms  "
+              f"compiled {compiled_solve * 1e3:8.3f} ms "
+              f"(+{compile_seconds * 1e3:7.1f} ms compile)  "
+              f"({certificate.explored:5d} st)  {speedup:6.1f}x")
+    return certifier_cases
 
 
 # -- R1: recovery overhead ---------------------------------------------------
@@ -472,7 +638,7 @@ def main(argv: list[str] | None = None) -> int:
         suites[name] = SUITES[name](args.quick, repeats)
 
     report = {
-        "schema": "repro-bench.v2",
+        "schema": "repro-bench.v3",
         "quick": args.quick,
         "repeats": repeats,
         "started_at": started,
@@ -482,8 +648,19 @@ def main(argv: list[str] | None = None) -> int:
         "summary": {
             "s1_noncompliant_onthefly_faster_than_eager": suites.get(
                 "s1", {}).get("noncompliant_onthefly_faster"),
+            "s1_compiled_median_speedup": suites.get(
+                "s1", {}).get("compiled_median_speedup"),
+            "s1_compiled_largest_case_speedup": suites.get(
+                "s1", {}).get("compiled_largest_case_speedup"),
             "s2_memoized_faster_than_eager": suites.get(
                 "s2", {}).get("memoized_faster"),
+            "s3_certifier_median_compiled_speedup": suites.get(
+                "s3", {}).get("certifier_median_compiled_speedup"),
+            "s3_certifier_largest_case_speedup": suites.get(
+                "s3", {}).get("certifier_largest_case_speedup"),
+            "verdicts_identical_across_engines": (
+                suites.get("s1", {}).get("verdicts_agree", None)
+                if "s1" in suites else None),
             "b1_static_amortises_dynamic_sampling": suites.get(
                 "b1", {}).get("static_amortises"),
         },

@@ -8,7 +8,8 @@ shapes, asserting 100% agreement and comparing their costs.
 
 import random
 
-from repro.core.compliance import compliant, compliant_coinductive
+from repro.core.compliance import (check_compliance, compliant,
+                                   compliant_coinductive)
 from repro.core.duality import dual
 from repro.core.syntax import (EPSILON, ExternalChoice, InternalChoice,
                                Var, external, internal, mu, receive, send,
@@ -81,3 +82,24 @@ def test_t1_agreement(benchmark):
     print(f"\nT1 — {len(CASES)} pairs: {compliant_count} compliant, "
           f"{len(CASES) - compliant_count} not; mismatches: {mismatches}")
     assert mismatches == 0
+
+
+def test_t1_compiled_decider(benchmark):
+    verdicts = benchmark(
+        lambda: [check_compliance(c, s, engine="compiled").compliant
+                 for c, s in CASES])
+    assert len(verdicts) == len(CASES)
+    assert True in verdicts and False in verdicts
+
+
+def test_t1_compiled_matches_interpreted_exactly():
+    """The compiled BFS is the interpreted one over interned tables:
+    verdict, explored-state count and counterexample trace must all be
+    identical, case for case."""
+    for client, server in CASES:
+        interpreted = check_compliance(client, server)
+        compiled = check_compliance(client, server, engine="compiled")
+        assert interpreted.compliant == compiled.compliant, (client, server)
+        assert interpreted.explored_states == compiled.explored_states, \
+            (client, server)
+        assert interpreted.trace == compiled.trace, (client, server)

@@ -104,6 +104,33 @@ def policy_heavy_client(policies: int, events_per_policy: int
                    seq(send("go"), body, receive("done")))
 
 
+def policy_grid_client(policies: int, width: int,
+                       depth: int) -> HistoryExpression:
+    """:func:`wide_client` with a policy-tracked event on every branch,
+    under one ``at_most`` framing per event class.
+
+    Each round's branch *i* fires ``op{i % policies}`` before its
+    answer, so the ⟨residual, monitor⟩ product pairs the Θ(width·depth)
+    branch-specific residuals with every reachable per-class count
+    vector — the scaling family for the validity *certifiers* (S3),
+    where :func:`policy_heavy_client` only yields a linear chain.  The
+    budgets are ``depth + 1``, so every run is valid and certification
+    must exhaust the whole product."""
+    term: HistoryExpression = EPSILON
+    for level in range(depth):
+        answers = tuple(
+            (f"ans_{level}_{i}", send(f"fin_{level}_{i}", term))
+            for i in range(width))
+        term = internal(*(
+            (f"msg_{level}_{i}",
+             seq(event(f"op{i % policies}"), external(*answers)))
+            for i in range(width)))
+    body = term
+    for index in range(policies):
+        body = Framing(at_most(f"op{index}", depth + 1), body)
+    return body
+
+
 def long_trace_service(length: int) -> HistoryExpression:
     """A service that fires *length* events before answering."""
     return receive("go", seq(*(event("step", i) for i in range(length)),

@@ -169,7 +169,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     for name, term in {**module.clients, **module.services}.items():
         check_well_formed(term)
         print(f"{name}: well formed")
-    diagnostics = lint_module(module, min_severity=Severity.ERROR)
+    diagnostics = lint_module(module, min_severity=Severity.ERROR,
+                              engine=args.engine)
     for diagnostic in diagnostics:
         print(diagnostic.format(module.path or str(args.network)),
               file=sys.stderr)
@@ -230,7 +231,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     from repro.staticcheck import analyze_module
     module = load_module(args.network)
-    analysis = analyze_module(module, max_plans=args.max_plans)
+    # The certifiers distinguish interpreted/compiled only; the other
+    # compliance engine names all mean the interpreted front-end here.
+    certifier_engine = ("compiled" if args.engine == "compiled"
+                        else "interpreted")
+    analysis = analyze_module(module, max_plans=args.max_plans,
+                              engine=certifier_engine)
     if args.format == "json":
         print(_json.dumps(analysis.to_json(), indent=2, sort_keys=True))
     else:
@@ -252,7 +258,7 @@ def _cmd_compliance(args: argparse.Namespace) -> int:
     server = network.term(args.server)
     requests = extract_requests(client)
     body = requests[0].body if requests else client
-    result = check_compliance(body, server)
+    result = check_compliance(body, server, engine=args.engine)
     if result.compliant:
         print(f"{args.client} ⊢ {args.server}: compliant")
         return 0
@@ -379,9 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "table after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    engine_choices = ("onthefly", "eager", "gfp", "compiled")
+    engine_help = ("compliance engine backing the verdicts (default: "
+                   "%(default)s; 'compiled' runs the interned "
+                   "integer-table core)")
+
     check = sub.add_parser("check", help="parse and validate a network "
                                          "(error-severity lint included)")
     check.add_argument("network")
+    check.add_argument("--engine", choices=engine_choices,
+                       default="onthefly", help=engine_help)
     check.set_defaults(func=_cmd_check)
 
     lint = sub.add_parser(
@@ -412,6 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "deterministic JSON (repro-analyze.v1)")
     analyze.add_argument("--max-plans", type=int, default=None,
                          help="bound on the candidate plans per client")
+    analyze.add_argument("--engine", choices=engine_choices,
+                         default="onthefly", help=engine_help)
     analyze.set_defaults(func=_cmd_analyze)
 
     verify = sub.add_parser("verify", help="synthesise valid plans")
@@ -424,6 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
     compliance.add_argument("network")
     compliance.add_argument("client")
     compliance.add_argument("server")
+    compliance.add_argument("--engine", choices=engine_choices,
+                            default="onthefly", help=engine_help)
     compliance.set_defaults(func=_cmd_compliance)
 
     simulate = sub.add_parser("simulate",

@@ -1,0 +1,57 @@
+"""Compiled verification core: interned states, flat transition tables.
+
+The interpreted deciders (:mod:`repro.core.compliance`,
+:mod:`repro.contracts.product`, :mod:`repro.staticcheck`) walk
+dict-of-terms transition systems, hashing whole history expressions on
+every set operation.  This package lowers a contract's finite LTS *once*
+into dense integer-indexed structures —
+
+* an intern table mapping states and action labels to small ints
+  (:mod:`~repro.compiled.intern`);
+* per-state transition arrays and ready sets precompiled as channel
+  bitmasks, so the Definition-5 stuck check is a handful of ``&``/``|``
+  operations on ints (:mod:`~repro.compiled.tables`);
+* a frontier BFS over the implicit product with bitset-encoded visited
+  sets and predecessor arrays for shortest-witness reconstruction
+  (:mod:`~repro.compiled.search`);
+* a compiled ⟨residual, monitor⟩ validity product with interned monitor
+  states and memoised monitor advancement
+  (:mod:`~repro.compiled.validity`).
+
+All three deciders plug into the same core via ``engine="compiled"``:
+:func:`repro.core.compliance.check_compliance`,
+:func:`repro.contracts.product.search_product`, and the staticcheck
+certifiers (:func:`repro.staticcheck.certify_compliance`,
+:func:`repro.staticcheck.certify_validity`).  The compiled engines visit
+states in exactly the order their interpreted counterparts do, so
+verdicts, explored-state counts and reconstructed witnesses are
+byte-identical — the differential property suite asserts it.
+
+Compilation results are memoised per (projected) term and wired into the
+``clear_contract_caches`` cascade; telemetry records ``compile.*``
+counters (states/labels interned, table bytes, compile seconds) through
+the observability layer.
+"""
+
+from __future__ import annotations
+
+from repro.compiled.intern import Bitset, Interner
+from repro.compiled.tables import (CompiledContract, compile_contract,
+                                   compiled_cache_stats,
+                                   clear_compiled_caches)
+from repro.compiled.search import (CompiledSearch, compiled_relation,
+                                   compiled_search)
+from repro.compiled.validity import compiled_certify_validity
+
+__all__ = [
+    "Bitset",
+    "CompiledContract",
+    "CompiledSearch",
+    "Interner",
+    "clear_compiled_caches",
+    "compile_contract",
+    "compiled_cache_stats",
+    "compiled_certify_validity",
+    "compiled_relation",
+    "compiled_search",
+]

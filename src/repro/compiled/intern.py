@@ -1,0 +1,120 @@
+"""Interning and bitset primitives for the compiled core.
+
+An :class:`Interner` assigns dense small-int ids to hashable objects in
+first-seen order, so downstream tables can be flat lists indexed by id
+instead of dicts keyed by structured terms.
+
+A :class:`Bitset` is a fixed-capacity membership set over ``[0, size)``
+encoded as machine words (a ``bytearray`` of bit chunks): testing and
+setting a bit touches one byte, never rehashes, and the whole visited
+set of a product search lives in ``size / 8`` bytes of contiguous
+memory.  Beyond :data:`DENSE_BITSET_LIMIT` candidate states the dense
+encoding would allocate more memory than a sparse search could ever
+touch (the searches are bounded by ``max_states`` visited states), so
+:func:`make_visited` falls back to a sparse int-set with the same
+``test_and_set`` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+#: Largest dense pair space (in bits) a :class:`Bitset` is allocated
+#: for — 1 << 25 bits is a 4 MiB bytearray.  Larger spaces use the
+#: sparse fallback.
+DENSE_BITSET_LIMIT = 1 << 25
+
+
+class Interner:
+    """Dense ids for hashable objects, in first-intern order.
+
+    ``intern`` returns a stable id per distinct object; ``values[id]``
+    maps back.  Lookup of an already-interned object never allocates.
+    """
+
+    __slots__ = ("ids", "values")
+
+    def __init__(self) -> None:
+        self.ids: dict[Hashable, int] = {}
+        self.values: list = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, obj: Hashable) -> bool:
+        return obj in self.ids
+
+    def intern(self, obj: Hashable) -> int:
+        """The id of *obj*, assigning the next dense id when new."""
+        found = self.ids.get(obj)
+        if found is not None:
+            return found
+        index = len(self.values)
+        self.ids[obj] = index
+        self.values.append(obj)
+        return index
+
+    def get(self, obj: Hashable) -> int | None:
+        """The id of *obj*, or ``None`` when never interned."""
+        return self.ids.get(obj)
+
+
+class Bitset:
+    """Dense membership set over ``[0, size)``: one bit per element."""
+
+    __slots__ = ("_bits", "size")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._bits = bytearray((size + 7) >> 3)
+
+    def __contains__(self, index: int) -> bool:
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
+
+    def add(self, index: int) -> None:
+        self._bits[index >> 3] |= 1 << (index & 7)
+
+    def test_and_set(self, index: int) -> bool:
+        """True iff *index* was already present; sets it either way."""
+        byte = self._bits[index >> 3]
+        mask = 1 << (index & 7)
+        if byte & mask:
+            return True
+        self._bits[index >> 3] = byte | mask
+        return False
+
+    def nbytes(self) -> int:
+        return len(self._bits)
+
+
+class SparseBits:
+    """Sparse fallback with the :class:`Bitset` protocol, for product
+    spaces too large to allocate densely."""
+
+    __slots__ = ("_seen",)
+
+    def __init__(self) -> None:
+        self._seen: set[int] = set()
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._seen
+
+    def add(self, index: int) -> None:
+        self._seen.add(index)
+
+    def test_and_set(self, index: int) -> bool:
+        if index in self._seen:
+            return True
+        self._seen.add(index)
+        return False
+
+    def nbytes(self) -> int:
+        return len(self._seen) * 8
+
+
+def make_visited(size: int):
+    """A visited-set for a product space of *size* encodable states:
+    dense :class:`Bitset` when affordable, sparse otherwise."""
+    if 0 <= size <= DENSE_BITSET_LIMIT:
+        return Bitset(size)
+    return SparseBits()

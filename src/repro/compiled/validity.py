@@ -1,0 +1,167 @@
+"""Compiled static-validity certification over interned products.
+
+The interpreted certifier (:mod:`repro.staticcheck.validity`) explores
+pairs ``⟨residual term, abstract monitor state⟩``, re-stepping the term
+and re-advancing the whole monitor tuple on every edge.  Here both sides
+are interned:
+
+* the residual transition system is compiled once per term into flat
+  per-state move tables ``(label, is_history, target_id)``;
+* monitor states are interned into dense ids and monitor *advancement*
+  is memoised per ``(monitor_id, label)`` — each distinct abstract
+  step through :func:`~repro.analysis.security.advance_monitor` runs
+  once, every revisit is a dict hit.
+
+The BFS itself runs over encoded int pairs with a predecessor map
+instead of per-frontier-entry label paths, in exactly the interpreted
+engine's visit order, so the certificate — verdict, explored count, and
+the shortest :class:`~repro.staticcheck.witness.ValidityWitness` on
+failure — is byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+
+from repro.compiled.intern import Interner
+from repro.core.actions import is_history_label
+from repro.core.errors import StateSpaceLimitError
+from repro.core.semantics import step
+from repro.core.syntax import HistoryExpression, policies_of
+from repro.contracts.lts import build_lts
+from repro.observability.cache_stats import track_cache
+from repro.analysis.security import advance_monitor, fresh_monitor_state
+
+#: Entries kept in the compiled term-LTS memo.
+TERM_CACHE_SIZE = 1024
+
+
+@lru_cache(maxsize=TERM_CACHE_SIZE)
+def _compile_term(term: HistoryExpression):
+    """The residual transition table of *term*: per-state tuples of
+    ``(label, is_history, target_id)`` in :func:`step` order, states
+    interned in construction order (0 = *term* itself).
+
+    The policy set rides along in the memo entry: ``policies_of`` is a
+    full recursion over the (shared-subterm) syntax DAG, easily more
+    expensive than the whole compiled BFS, so a warm certification call
+    must not pay it again."""
+    policies = policies_of(term)
+    if not policies:
+        return (), (), policies
+    lts = build_lts(term, step)
+    states = Interner()
+    for state in lts.transitions:
+        states.intern(state)
+    state_ids = states.ids
+    moves = tuple(
+        tuple((label, is_history_label(label), state_ids[target])
+              for label, target in lts.transitions[state])
+        for state in states.values)
+    return states.values, moves, policies
+
+
+track_cache("compiled.validity_terms", _compile_term)
+
+# Join the compiled layer's stats/clear cascade (tables clears this
+# memo; the shared name lists make its stats visible alongside, both in
+# compiled_cache_stats() and in contract_cache_stats()).
+from repro.compiled import tables as _tables  # noqa: E402
+from repro.contracts.contract import register_cache_stat_names  # noqa: E402
+
+if "compiled.validity_terms" not in _tables._CACHE_NAMES:
+    _tables._CACHE_NAMES.append("compiled.validity_terms")
+register_cache_stat_names("compiled.validity_terms")
+
+
+def compiled_certify_validity(term: HistoryExpression, max_states: int):
+    """The compiled twin of the interpreted ``_certify`` BFS.
+
+    Returns a :class:`~repro.staticcheck.validity.ValidityCertificate`;
+    imported lazily to keep the layering acyclic (staticcheck dispatches
+    here, not the other way around).
+    """
+    from repro.staticcheck.validity import ValidityCertificate
+    from repro.staticcheck.witness import ValidityWitness, automaton_states
+
+    _, moves, policies = _compile_term(term)
+    if not policies:
+        return ValidityCertificate(True, None, 0)
+    n_terms = len(moves)
+    monitors = Interner()
+    initial_monitor = monitors.intern(fresh_monitor_state(policies))
+    # (monitor_id, label) → (next_monitor_id, violated-policy-or-None).
+    # Advancement depends on nothing else, so each distinct abstract
+    # monitor step runs the concrete runners exactly once.
+    advance_memo: dict[tuple[int, object], tuple[int, object]] = {}
+
+    def advance(monitor_id: int, label) -> tuple[int, object]:
+        key = (monitor_id, label)
+        cached = advance_memo.get(key)
+        if cached is None:
+            next_monitor, violated = advance_monitor(
+                monitors.values[monitor_id], (label,))
+            cached = (monitors.intern(next_monitor), violated)
+            advance_memo[key] = cached
+        return cached
+
+    def decode_path(code: int) -> tuple:
+        """The appended history labels along the discovery chain of
+        *code* — re-derived from the predecessor map by matching each
+        hop against its parent's move table in step order, which is the
+        order the interpreted engine accumulated its frontier paths."""
+        chain = [code]
+        node = code
+        while node != initial:
+            node = parents[node]
+            chain.append(node)
+        chain.reverse()
+        labels: list = []
+        for parent, child in zip(chain, chain[1:]):
+            parent_monitor, parent_term = divmod(parent, n_terms)
+            child_monitor, child_term = divmod(child, n_terms)
+            for label, is_history, target_id in moves[parent_term]:
+                if target_id != child_term:
+                    continue
+                if not is_history:
+                    if child_monitor == parent_monitor:
+                        break
+                    continue
+                next_monitor_id, violated = advance(parent_monitor, label)
+                if violated is None and next_monitor_id == child_monitor:
+                    labels.append(label)
+                    break
+            else:  # pragma: no cover - parents always record a real edge
+                raise AssertionError("broken predecessor chain")
+        return tuple(labels)
+
+    initial = initial_monitor * n_terms + 0
+    seen = {initial}
+    parents: dict[int, int] = {}
+    frontier: deque[int] = deque((initial,))
+    explored = 0
+    while frontier:
+        code = frontier.popleft()
+        explored += 1
+        monitor_id, term_id = divmod(code, n_terms)
+        for label, is_history, target_id in moves[term_id]:
+            if is_history:
+                next_monitor_id, violated = advance(monitor_id, label)
+                if violated is not None:
+                    path = decode_path(code) + (label,)
+                    witness = ValidityWitness(
+                        labels=path, policy=violated,
+                        states=automaton_states(path, violated))
+                    return ValidityCertificate(False, witness, explored)
+            else:
+                next_monitor_id = monitor_id
+            successor = next_monitor_id * n_terms + target_id
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise StateSpaceLimitError(max_states,
+                                               "validity product")
+                seen.add(successor)
+                parents[successor] = code
+                frontier.append(successor)
+    return ValidityCertificate(True, None, explored)

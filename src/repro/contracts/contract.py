@@ -46,8 +46,19 @@ track_cache("contracts.projection", _projection_of)
 track_cache("contracts.lts", _lts_of)
 
 #: The cache-stats names owned by this module (see
-#: :func:`contract_cache_stats`).
-_CACHE_NAMES = ("contracts.projection", "contracts.lts")
+#: :func:`contract_cache_stats`).  Higher layers append their own names
+#: through :func:`register_cache_stat_names`, so one
+#: :func:`contract_cache_stats` call surveys every contract-derived memo
+#: table (the compiled transition tables in particular).
+_CACHE_NAMES: list[str] = ["contracts.projection", "contracts.lts"]
+
+
+def register_cache_stat_names(*names: str) -> None:
+    """Expose additional cache-stats *names* through
+    :func:`contract_cache_stats`.  Idempotent per name."""
+    for name in names:
+        if name not in _CACHE_NAMES:
+            _CACHE_NAMES.append(name)
 
 #: Extra cache-clearing callbacks run by :func:`clear_contract_caches`.
 #: Higher layers (``repro.staticcheck`` in particular) memoise results

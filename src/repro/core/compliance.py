@@ -27,7 +27,11 @@ Three independent deciders are provided:
 * ``check_compliance(..., engine="gfp")`` re-derives the relation as the
   largest fixpoint on the ready-set product
   (:func:`repro.staticcheck.compliance.certify_compliance`), producing a
-  stuck-configuration witness with the refusing ready sets on failure.
+  stuck-configuration witness with the refusing ready sets on failure;
+* ``check_compliance(..., engine="compiled")`` runs the on-the-fly BFS
+  over the interned integer tables of :mod:`repro.compiled` — same
+  verdict, witness and explored count as ``"onthefly"``, typically an
+  order of magnitude faster on large products.
 
 The test suite checks that they all agree on randomly generated
 contracts — a machine check of Theorems 1 and 2.
@@ -79,8 +83,11 @@ def check_compliance(client: HistoryExpression | Contract,
     *engine* selects the exploration strategy: ``"onthefly"`` (default)
     runs the lazy BFS of :func:`~repro.contracts.product.search_product`
     and stops at the first stuck pair; ``"eager"`` materialises the full
-    explicit automaton first.  Both return the same verdict and a
-    shortest trace; the test suite cross-validates them.
+    explicit automaton first; ``"gfp"`` re-derives the relation as a
+    greatest fixpoint; ``"compiled"`` runs the on-the-fly BFS over the
+    interned integer tables of :mod:`repro.compiled`.  All return the
+    same verdict and a shortest trace; the test suite cross-validates
+    them.
     """
     tel = _telemetry.active()
     if tel is None:
@@ -101,8 +108,10 @@ def _check(client: HistoryExpression | Contract,
            engine: str) -> ComplianceResult:
     client_c = _as_contract(client)
     server_c = _as_contract(server)
-    if engine == "onthefly":
-        search = search_product(client_c, server_c)
+    if engine in ("onthefly", "compiled"):
+        search = search_product(
+            client_c, server_c,
+            engine="compiled" if engine == "compiled" else "interpreted")
         if search.empty:
             return ComplianceResult(True, explored_states=search.explored)
         return ComplianceResult(False, witness=search.witness,
@@ -129,7 +138,7 @@ def _check(client: HistoryExpression | Contract,
         return ComplianceResult(False, witness=trace[-1], trace=trace,
                                 explored_states=certificate.pairs)
     raise ValueError(f"unknown compliance engine {engine!r} "
-                     "(expected 'onthefly', 'eager' or 'gfp')")
+                     "(expected 'onthefly', 'eager', 'gfp' or 'compiled')")
 
 
 def compliant(client: HistoryExpression | Contract,

@@ -163,20 +163,27 @@ class ModuleAnalysis:
 
 
 def analyze_module(module: Module, *,
-                   max_plans: int | None = None) -> ModuleAnalysis:
-    """Run the whole-network static analysis on *module*."""
+                   max_plans: int | None = None,
+                   engine: str = "interpreted") -> ModuleAnalysis:
+    """Run the whole-network static analysis on *module*.
+
+    ``engine="compiled"`` routes the validity and compliance
+    certifications through the compiled core (:mod:`repro.compiled`) —
+    identical reports, faster on large modules."""
     tel = _telemetry.active()
     if tel is None:
-        return _analyze(module, max_plans)
+        return _analyze(module, max_plans, engine)
     with tel.tracer.span("staticcheck.analyze_module",
-                         module=module.path or "<module>") as span:
-        analysis = _analyze(module, max_plans)
+                         module=module.path or "<module>",
+                         engine=engine) as span:
+        analysis = _analyze(module, max_plans, engine)
         span.set(ok=analysis.ok, terms=len(analysis.terms),
                  pairs=len(analysis.pairs))
         return analysis
 
 
-def _analyze(module: Module, max_plans: int | None) -> ModuleAnalysis:
+def _analyze(module: Module, max_plans: int | None,
+             engine: str) -> ModuleAnalysis:
     repository = module.repository
 
     terms = []
@@ -184,7 +191,7 @@ def _analyze(module: Module, max_plans: int | None) -> ModuleAnalysis:
                         ("service", module.services)):
         for name, term in table.items():
             terms.append(TermReport(name, kind, analyse_labels(term),
-                                    certify_validity(term)))
+                                    certify_validity(term, engine=engine)))
 
     pairs = []
     for kind, table in (("client", module.clients),
@@ -193,7 +200,7 @@ def _analyze(module: Module, max_plans: int | None) -> ModuleAnalysis:
             for info in extract_requests(term):
                 for location in repository.locations():
                     certificate = certify_compliance(
-                        info.body, repository[location])
+                        info.body, repository[location], engine=engine)
                     pairs.append(PairReport(name, info.request, location,
                                             certificate))
 

@@ -63,18 +63,31 @@ class ValidityCertificate:
 
 
 def certify_validity(term: HistoryExpression, *,
-                     max_states: int = DEFAULT_STATE_LIMIT
-                     ) -> ValidityCertificate:
+                     max_states: int = DEFAULT_STATE_LIMIT,
+                     engine: str = "interpreted") -> ValidityCertificate:
     """Certify that every run of *term* yields a valid history.
 
     Memoised on the (immutable) term; the telemetry wrapper records the
     verdict, the explored-state count and the witness length.
+
+    ``engine="compiled"`` runs the same product BFS over interned
+    residual/monitor ids with memoised monitor advancement
+    (:func:`repro.compiled.validity.compiled_certify_validity`) —
+    identical certificate, typically much faster on policy-heavy terms.
     """
+    if engine == "compiled":
+        certify = _certify_compiled
+    elif engine == "interpreted":
+        certify = _certify
+    else:
+        raise ValueError(f"unknown certification engine {engine!r} "
+                         "(expected 'interpreted' or 'compiled')")
     tel = _telemetry.active()
     if tel is None:
-        return _certify(term, max_states)
-    with tel.tracer.span("staticcheck.certify_validity") as span:
-        certificate = _certify(term, max_states)
+        return certify(term, max_states)
+    with tel.tracer.span("staticcheck.certify_validity",
+                         engine=engine) as span:
+        certificate = certify(term, max_states)
         span.set(valid=certificate.valid, explored=certificate.explored)
         verdict = "valid" if certificate.valid else "witness"
         tel.metrics.counter("staticcheck.certifications",
@@ -126,3 +139,13 @@ def _certify(term: HistoryExpression,
 
 
 track_cache("staticcheck.validity", _certify)
+
+
+@lru_cache(maxsize=VALIDITY_CACHE_SIZE)
+def _certify_compiled(term: HistoryExpression,
+                      max_states: int) -> ValidityCertificate:
+    from repro.compiled.validity import compiled_certify_validity
+    return compiled_certify_validity(term, max_states)
+
+
+track_cache("staticcheck.validity_compiled", _certify_compiled)

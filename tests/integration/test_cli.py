@@ -223,6 +223,66 @@ class TestStatsFlag:
         assert "-- metrics --" not in capsys.readouterr().out
 
 
+class TestEngineFlag:
+    """`--engine` on check/analyze/compliance: every engine returns the
+    same exit code and verdict; `--stats` shows the compiled telemetry."""
+
+    ENGINES = ("onthefly", "eager", "gfp", "compiled")
+
+    def test_compliance_engines_agree_positive(self, network_file,
+                                               capsys):
+        for engine in self.ENGINES:
+            assert main(["compliance", network_file, "me", "good",
+                         "--engine", engine]) == 0, engine
+            assert "compliant" in capsys.readouterr().out
+
+    def test_compliance_engines_agree_negative(self, tmp_path, capsys):
+        path = tmp_path / "net.toml"
+        path.write_text("""
+[clients.me]
+term = "open r { !job . ?done }"
+
+[services.mute]
+term = "?job"
+""")
+        for engine in self.ENGINES:
+            assert main(["compliance", str(path), "me", "mute",
+                         "--engine", engine]) == 1, engine
+            assert "NOT compliant" in capsys.readouterr().out
+
+    def test_check_with_compiled_engine(self, network_file, capsys):
+        assert main(["check", network_file, "--engine", "compiled"]) == 0
+        assert "me: well formed" in capsys.readouterr().out
+
+    def test_analyze_output_identical_across_engines(self, network_file,
+                                                     capsys):
+        assert main(["analyze", network_file, "--format", "json"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["analyze", network_file, "--format", "json",
+                     "--engine", "compiled"]) == 0
+        compiled_out = capsys.readouterr().out
+        assert default_out == compiled_out
+
+    def test_stats_shows_compile_telemetry(self, network_file, capsys):
+        # Compilation telemetry fires on memo misses only — start from a
+        # cold cache so this run actually compiles.
+        from repro.contracts.contract import clear_contract_caches
+        clear_contract_caches()
+        assert main(["--stats", "compliance", network_file, "me", "good",
+                     "--engine", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "compile.contracts" in out
+        assert "compile.states_interned" in out
+        assert "cache compiled.contract:" in out
+        assert "compliance.checks{engine=compiled" in out
+
+    def test_unknown_engine_is_a_usage_error(self, network_file, capsys):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            main(["compliance", network_file, "me", "good",
+                  "--engine", "quantum"])
+
+
 class TestExplainCommand:
     def test_explain_narrates_all_plans(self, network_file, capsys):
         assert main(["explain", network_file, "me"]) == 0

@@ -1,0 +1,147 @@
+"""Differential testing of the compiled core against every interpreted
+engine.
+
+Over seeded random contract pairs (the same workload generators the
+on-the-fly property suite draws from, plus the T1 random-contract
+grammar) all four compliance engines must agree on the verdict; where an
+engine pair shares exploration semantics the explored-state counts and
+witness traces must be *identical*, and every witness must replay
+against the concrete semantics.
+"""
+
+import pathlib
+import random
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]
+                       / "benchmarks"))
+
+from workloads import (almost_compliant_server, policy_heavy_client,  # noqa: E402
+                       wide_client, wide_server)
+
+from repro.core.compliance import check_compliance  # noqa: E402
+from repro.core.duality import dual  # noqa: E402
+from repro.core.syntax import (EPSILON, event, external, framing,  # noqa: E402
+                               internal, seq)
+from repro.policies.library import forbid  # noqa: E402
+from repro.staticcheck.compliance import certify_compliance  # noqa: E402
+from repro.staticcheck.validity import certify_validity  # noqa: E402
+
+SEED = 0xC0DEC
+ROUNDS = 40
+
+ENGINES = ("onthefly", "eager", "gfp", "compiled")
+
+
+def random_contract(rng, depth):
+    """The T1 grammar: internal/external choices and sequencing over
+    channels a/b/c."""
+    if depth == 0:
+        return EPSILON
+    kind = rng.choice(("int", "ext", "seq"))
+    channels = rng.sample(["a", "b", "c"], k=rng.randint(1, 2))
+    if kind == "seq":
+        return seq(random_contract(rng, depth - 1),
+                   random_contract(rng, depth - 1))
+    branches = tuple((channel, random_contract(rng, depth - 1))
+                     for channel in channels)
+    if kind == "int":
+        return internal(*branches)
+    return external(*branches)
+
+
+def random_pairs(seed: int, rounds: int):
+    """Seeded pairs mixing the workload generators (structured, deep)
+    with the free random grammar (adversarial shapes) and compliant
+    dual seeds."""
+    rng = random.Random(seed)
+    for round_no in range(rounds):
+        mode = rng.randrange(4)
+        if mode == 0:
+            width, depth = rng.randint(1, 3), rng.randint(1, 3)
+            yield wide_client(width, depth), wide_server(width, depth)
+        elif mode == 1:
+            width, depth = rng.randint(1, 3), rng.randint(1, 3)
+            yield (wide_client(width, depth),
+                   almost_compliant_server(
+                       width, depth, surprise_level=rng.randrange(depth)))
+        elif mode == 2:
+            client = random_contract(rng, rng.randint(1, 4))
+            yield client, dual(client)
+        else:
+            yield (random_contract(rng, rng.randint(1, 4)),
+                   random_contract(rng, rng.randint(1, 4)))
+
+
+PAIRS = list(random_pairs(SEED, ROUNDS))
+
+
+@pytest.mark.parametrize("client,server", PAIRS,
+                         ids=[f"case{i}" for i in range(len(PAIRS))])
+def test_all_four_engines_agree(client, server):
+    results = {engine: check_compliance(client, server, engine=engine)
+               for engine in ENGINES}
+    verdicts = {engine: result.compliant
+                for engine, result in results.items()}
+    assert len(set(verdicts.values())) == 1, verdicts
+
+    # onthefly and compiled share BFS semantics exactly: identical
+    # explored counts and identical (shortest) counterexample traces.
+    assert (results["onthefly"].explored_states
+            == results["compiled"].explored_states)
+    assert results["onthefly"].trace == results["compiled"].trace
+
+    # Each engine's witness, when present, is the last element of its
+    # trace and genuinely stuck.
+    for engine, result in results.items():
+        if not result.compliant:
+            assert result.trace, engine
+            assert result.witness == result.trace[-1], engine
+
+
+@pytest.mark.parametrize("client,server", PAIRS,
+                         ids=[f"case{i}" for i in range(len(PAIRS))])
+def test_gfp_certificates_identical_across_engines(client, server):
+    interpreted = certify_compliance(client, server)
+    compiled = certify_compliance(client, server, engine="compiled")
+    assert interpreted.compliant == compiled.compliant
+    assert interpreted.pairs == compiled.pairs
+    assert interpreted.witness == compiled.witness
+    if compiled.witness is not None:
+        assert compiled.witness.replays()
+
+
+VALID_TERMS = [policy_heavy_client(policies, events)
+               for policies in (1, 2, 3) for events in (2, 4)]
+VIOLATING_TERMS = [
+    framing(forbid("rm"), seq(event("touch"), event("rm"))),
+    framing(forbid("rm"),
+            seq(event("a"),
+                internal(("b", seq(event("touch"), event("rm"))),
+                         ("c", event("ok"))))),
+]
+
+
+@pytest.mark.parametrize("term", VALID_TERMS + VIOLATING_TERMS,
+                         ids=[f"term{i}" for i in
+                              range(len(VALID_TERMS) + len(VIOLATING_TERMS))])
+def test_validity_certificates_identical_across_engines(term):
+    interpreted = certify_validity(term)
+    compiled = certify_validity(term, engine="compiled")
+    assert interpreted.valid == compiled.valid
+    assert interpreted.explored == compiled.explored
+    assert interpreted.witness == compiled.witness
+    if compiled.witness is not None:
+        assert compiled.witness.replays()
+
+
+def test_unknown_engines_are_rejected():
+    client, server = PAIRS[0]
+    with pytest.raises(ValueError, match="unknown compliance engine"):
+        check_compliance(client, server, engine="vectorised")
+    with pytest.raises(ValueError, match="unknown certification engine"):
+        certify_compliance(client, server, engine="vectorised")
+    with pytest.raises(ValueError, match="unknown certification engine"):
+        certify_validity(VALID_TERMS[0], engine="vectorised")
