@@ -24,6 +24,7 @@ Commands::
     repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
     repro chaos NETWORK.toml [--seed N] [--trials N] [--faults KINDS]
+    repro report NETWORK.toml [--seed N] [--format json] [--wall]
     repro explain NETWORK.toml CLIENT     # narrate each candidate plan
     repro dot NETWORK.toml NAME           # policy automaton / contract dot
     repro trace NETWORK.toml [--out F]    # verify + simulate, emit spans
@@ -109,6 +110,22 @@ def load_module(path: str | Path) -> Module:
     every declaration.  Parse errors carry the file path so the CLI can
     report ``error: file:line:col: message``.
     """
+    tel = _telemetry.active()
+    if tel is None:
+        return _load_module(path)
+    with tel.tracer.span("parse.load_module",
+                         module=Path(path).name) as span:
+        module = _load_module(path)
+        span.set(clients=len(module.clients),
+                 services=len(module.services),
+                 policies=len(module.policies))
+        tel.emit("parse.module", module=Path(path).name,
+                 clients=len(module.clients),
+                 services=len(module.services))
+        return module
+
+
+def _load_module(path: str | Path) -> Module:
     if Path(path).suffix != ".toml":
         from repro.lang.module import parse_module
         with open(path, "r", encoding="utf-8") as handle:
@@ -293,16 +310,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    """Verify, then run seeded fault-injection trials with recovery."""
-    from repro.resilience import FAULT_KINDS, run_chaos
-    network = load_network(args.network)
-    kinds = tuple(kind.strip() for kind in args.faults.split(",")
+def _parse_fault_kinds(spec: str) -> tuple[str, ...]:
+    from repro.resilience import FAULT_KINDS
+    kinds = tuple(kind.strip() for kind in spec.split(",")
                   if kind.strip())
     unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
     if unknown:
         raise ReproError(f"unknown fault kind(s): {', '.join(unknown)} "
                          f"(known: {', '.join(FAULT_KINDS)})")
+    return kinds
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Verify, then run seeded fault-injection trials with recovery."""
+    from repro.resilience import run_chaos
+    network = load_network(args.network)
+    kinds = _parse_fault_kinds(args.faults)
     verdict = verify_network(network.clients, network.repository)
     if not verdict.verified:
         print(verdict.report())
@@ -318,6 +341,36 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.invariant_holds else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a seeded chaos campaign under a fresh telemetry scope and
+    print the merged observability report: per-layer attribution, causal
+    chains, flight-recorder counters, metrics.
+
+    The JSON rendering is deterministic for a fixed (module, seed,
+    trials, faults) tuple unless ``--wall`` adds wall-clock timings.
+    """
+    from repro.observability.report import build_report
+    from repro.resilience import run_chaos
+    kinds = _parse_fault_kinds(args.faults)
+    with _telemetry.telemetry_session() as tel:
+        network = load_network(args.network)
+        chaos = run_chaos(network.clients, network.repository,
+                          trials=args.trials, seed=args.seed,
+                          kinds=kinds, max_faults=args.max_faults,
+                          max_steps=args.max_steps,
+                          module=Path(args.network).name)
+        merged = build_report(tel, module=Path(args.network).name,
+                              chaos=chaos.to_dict(), wall=args.wall)
+    output = (merged.to_json() if args.format == "json"
+              else merged.render_text())
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote report to {args.out}")
+    else:
+        print(output)
+    return 0 if chaos.invariant_holds else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -474,6 +527,28 @@ def build_parser() -> argparse.ArgumentParser:
                        default="text")
     chaos.set_defaults(func=_cmd_chaos)
 
+    report = sub.add_parser(
+        "report", help="run a seeded chaos campaign under telemetry and "
+                       "print one merged observability report "
+                       "(layers, causal chains, flight recorder)")
+    report.add_argument("network")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--trials", type=int, default=20)
+    report.add_argument("--faults", default="crash,drop,stall",
+                        metavar="KINDS",
+                        help="comma-separated fault kinds to inject")
+    report.add_argument("--max-faults", type=int, default=3)
+    report.add_argument("--max-steps", type=int, default=400)
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    report.add_argument("--wall", action="store_true",
+                        help="include wall-clock timings (makes the "
+                             "report non-reproducible)")
+    report.add_argument("--out", default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    report.set_defaults(func=_cmd_report)
+
     explain = sub.add_parser(
         "explain", help="narrate why each candidate plan is (in)valid")
     explain.add_argument("network")
@@ -515,6 +590,14 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"cache {name}: {stats['hits']} hit(s), "
                           f"{stats['misses']} miss(es), "
                           f"{stats['currsize']} entries")
+                from repro.compiled.tables import label_table_stats
+                tables = label_table_stats()
+                print(f"compiled tables: {tables['labels']} label(s), "
+                      f"{tables['channels']} channel(s), "
+                      f"{tables['compiled_contracts']} compiled "
+                      f"contract(s)")
+                for kind, count in tel.events.counters().items():
+                    print(f"event {kind}: {count}")
             return status
         return args.func(args)
     except (ReproError, OSError) as error:

@@ -30,6 +30,7 @@ from repro.compiled.intern import make_visited
 from repro.compiled.tables import CompiledContract
 from repro.core.errors import StateSpaceLimitError
 from repro.core.syntax import HistoryExpression
+from repro.observability import runtime as _telemetry
 
 #: A decoded product state (the interpreted engines' PairState).
 _Pair = tuple[HistoryExpression, HistoryExpression]
@@ -68,8 +69,19 @@ def compiled_search(client: CompiledContract, server: CompiledContract,
 
     Mirrors the interpreted on-the-fly BFS state for state: same
     discovery order, same early exit, same explored-state count, same
-    shortest counterexample.
+    shortest counterexample.  One flight-recorder event per search is
+    emitted at the boundary; the BFS loop itself stays telemetry-free.
     """
+    result = _compiled_search(client, server, max_states)
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.emit("search.compiled", empty=result.empty,
+                 explored=result.explored)
+    return result
+
+
+def _compiled_search(client: CompiledContract, server: CompiledContract,
+                     max_states: int) -> CompiledSearch:
     ns = len(server.terms)
     c_moves = client.moves
     s_by_label = server.by_label
@@ -159,8 +171,19 @@ def compiled_relation(client: CompiledContract, server: CompiledContract,
     one), refusing pairs are absorbing, and the successors of a live
     pair are deduplicated and visited in term-rendering order, so the
     reconstructed witness trace is byte-identical to the interpreted
-    certifier's.
+    certifier's.  As with :func:`compiled_search`, one flight-recorder
+    event marks the completed exploration.
     """
+    result = _compiled_relation(client, server, max_states)
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.emit("search.compiled_relation", compliant=result.compliant,
+                 pairs=result.pairs)
+    return result
+
+
+def _compiled_relation(client: CompiledContract, server: CompiledContract,
+                       max_states: int) -> CompiledRelation:
     ns = len(server.terms)
     c_moves = client.moves
     s_by_label = server.by_label

@@ -166,9 +166,28 @@ def compile_contract(contract: Contract | HistoryExpression
 @lru_cache(maxsize=COMPILED_CACHE_SIZE)
 def _compile(term: HistoryExpression) -> CompiledContract:
     tel = _telemetry.active()
-    started = time.perf_counter() if tel is not None else 0.0
-    labels_before = len(LABELS.labels) if tel is not None else 0
+    if tel is None:
+        return _compile_tables(term)
+    with tel.tracer.span("compile.contract") as span:
+        started = time.perf_counter()
+        labels_before = len(LABELS.labels)
+        compiled = _compile_tables(term)
+        new_labels = len(LABELS.labels) - labels_before
+        table_bytes = compiled.table_bytes()
+        metrics = tel.metrics
+        metrics.counter("compile.contracts").inc()
+        metrics.counter("compile.states_interned").inc(len(compiled))
+        metrics.counter("compile.labels_interned").inc(new_labels)
+        metrics.counter("compile.table_bytes").inc(table_bytes)
+        metrics.histogram("compile.seconds").observe(
+            time.perf_counter() - started)
+        span.set(states=len(compiled), table_bytes=table_bytes)
+        tel.emit("compile.contract", states=len(compiled),
+                 labels=new_labels, table_bytes=table_bytes)
+    return compiled
 
+
+def _compile_tables(term: HistoryExpression) -> CompiledContract:
     lts = Contract(term, already_projected=True).lts
     states = Interner()
     # Intern in LTS construction order (BFS from the initial term), so
@@ -210,22 +229,11 @@ def _compile(term: HistoryExpression) -> CompiledContract:
         in_masks.append(in_mask)
         terminated.append(is_terminated(state))
 
-    compiled = CompiledContract(
+    return CompiledContract(
         term=term, terms=tuple(states.values), state_id=states.ids,
         moves=tuple(moves), by_label=tuple(by_label),
         out_mask=tuple(out_masks), in_mask=tuple(in_masks),
         terminated=tuple(terminated))
-
-    if tel is not None:
-        metrics = tel.metrics
-        metrics.counter("compile.contracts").inc()
-        metrics.counter("compile.states_interned").inc(len(compiled))
-        metrics.counter("compile.labels_interned").inc(
-            len(LABELS.labels) - labels_before)
-        metrics.counter("compile.table_bytes").inc(compiled.table_bytes())
-        metrics.histogram("compile.seconds").observe(
-            time.perf_counter() - started)
-    return compiled
 
 
 @lru_cache(maxsize=COMPILED_CACHE_SIZE)
@@ -246,6 +254,15 @@ _CACHE_NAMES: list[str] = ["compiled.contract", "compiled.reprs"]
 def compiled_cache_stats() -> dict[str, dict[str, int]]:
     """Hits/misses/size of every compiled-core memo table."""
     return cache_stats(*_CACHE_NAMES)
+
+
+def label_table_stats() -> dict[str, int]:
+    """Size of the process-wide label intern table plus the number of
+    currently memoised compiled contracts (what the CLI prints under
+    ``--stats``)."""
+    return {"labels": len(LABELS.labels),
+            "channels": len(LABELS.channels),
+            "compiled_contracts": _compile.cache_info().currsize}
 
 
 def clear_compiled_caches() -> None:

@@ -30,6 +30,7 @@ from repro.core.errors import StateSpaceLimitError
 from repro.core.semantics import step
 from repro.core.syntax import HistoryExpression, policies_of
 from repro.contracts.lts import build_lts
+from repro.observability import runtime as _telemetry
 from repro.observability.cache_stats import track_cache
 from repro.analysis.security import advance_monitor, fresh_monitor_state
 
@@ -48,7 +49,10 @@ def _compile_term(term: HistoryExpression):
     expensive than the whole compiled BFS, so a warm certification call
     must not pay it again."""
     policies = policies_of(term)
+    tel = _telemetry.active()
     if not policies:
+        if tel is not None:
+            tel.emit("compile.term", states=0, policies=0)
         return (), (), policies
     lts = build_lts(term, step)
     states = Interner()
@@ -59,6 +63,9 @@ def _compile_term(term: HistoryExpression):
         tuple((label, is_history_label(label), state_ids[target])
               for label, target in lts.transitions[state])
         for state in states.values)
+    if tel is not None:
+        tel.emit("compile.term", states=len(moves),
+                 policies=len(policies))
     return states.values, moves, policies
 
 
@@ -80,8 +87,18 @@ def compiled_certify_validity(term: HistoryExpression, max_states: int):
 
     Returns a :class:`~repro.staticcheck.validity.ValidityCertificate`;
     imported lazily to keep the layering acyclic (staticcheck dispatches
-    here, not the other way around).
+    here, not the other way around).  One flight-recorder event marks
+    each completed certification.
     """
+    certificate = _certify_compiled(term, max_states)
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.emit("certify.compiled", valid=certificate.valid,
+                 explored=certificate.explored)
+    return certificate
+
+
+def _certify_compiled(term: HistoryExpression, max_states: int):
     from repro.staticcheck.validity import ValidityCertificate
     from repro.staticcheck.witness import ValidityWitness, automaton_states
 

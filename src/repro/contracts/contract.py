@@ -81,12 +81,20 @@ def clear_contract_caches() -> None:
     rebaseline their telemetry adapters, so hit/miss counts read from a
     clean slate afterwards.  Registered higher-layer clearers (see
     :func:`register_cache_clearer`) run as well, so memo tables derived
-    from contracts never outlive the contracts themselves."""
+    from contracts never outlive the contracts themselves.  The flight
+    recorder's per-kind counters are rebaselined too (after noting the
+    flush as a ``cache.cleared`` event), so event counts — like cache
+    hit/miss counts — always read relative to the last flush."""
     _projection_of.cache_clear()
     _lts_of.cache_clear()
     reset_cache_stats(*_CACHE_NAMES)
     for clearer in _EXTRA_CLEARERS:
         clearer()
+    from repro.observability import runtime as _telemetry
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.emit("cache.cleared", caches=len(_CACHE_NAMES))
+        tel.events.rebaseline()
 
 
 def contract_cache_stats() -> dict[str, dict[str, int]]:

@@ -190,6 +190,8 @@ def search_product(client: Contract, server: Contract,
             result.explored if result.empty else result.explored - 1)
         if depth is not None:
             metrics.histogram("compliance.early_exit_depth").observe(depth)
+        tel.emit("search.product", engine=engine, empty=result.empty,
+                 explored=result.explored)
         return result
 
 

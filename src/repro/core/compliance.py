@@ -100,6 +100,9 @@ def check_compliance(client: HistoryExpression | Contract,
             "compliance.checks", engine=engine,
             verdict="compliant" if result.compliant
             else "noncompliant").inc()
+        tel.emit("compliance.verdict", engine=engine,
+                 compliant=result.compliant,
+                 explored=result.explored_states)
         return result
 
 

@@ -102,6 +102,10 @@ class Simulator:
         # point events on the innermost open session).
         self._component_spans: dict[int, object] = {}
         self._session_stacks: dict[int, list] = {}
+        # Flight-recorder seqs of the "session.open" events mirroring
+        # the open session spans, so closes (and interruptions) carry a
+        # causal link back to the exact open that started them.
+        self._session_open_events: dict[int, list[int]] = {}
 
     # -- inspection ---------------------------------------------------------
 
@@ -176,17 +180,27 @@ class Simulator:
 
         rule = transition.rule
         if rule == "open":
+            request = getattr(transition.label, "request", None)
             span = tel.tracer.start_span(
                 "simulator.session", parent=current,
-                request=getattr(transition.label, "request", None),
-                opened_at_step=step_index)
+                request=request, opened_at_step=step_index)
             stack.append(span)
+            opened = tel.events.emit(
+                "session.open", span=span.span_id, component=index,
+                request=str(request), step=step_index)
+            self._session_open_events.setdefault(index, []).append(
+                opened.seq)
             tel.metrics.counter("simulator.sessions_opened").inc()
         elif rule == "close":
             if stack:
                 span = stack.pop()
                 span.set(closed_at_step=step_index)
                 tel.tracer.end_span(span)
+                open_seqs = self._session_open_events.get(index)
+                tel.events.emit(
+                    "session.close", span=span.span_id, component=index,
+                    step=step_index,
+                    cause=open_seqs.pop() if open_seqs else None)
             tel.metrics.counter("simulator.sessions_closed").inc()
         elif rule == "synch":
             current.add_event("communication", step=step_index,
@@ -218,16 +232,22 @@ class Simulator:
         """Finish every span still open (end of a run; sessions left open
         by an aborted or truncated run are marked)."""
         for index, stack in self._session_stacks.items():
+            open_seqs = self._session_open_events.get(index, [])
             while stack:
                 span = stack.pop()
                 span.set(left_open=True)
                 tel.tracer.end_span(span)
+                tel.events.emit(
+                    "session.interrupted", span=span.span_id,
+                    component=index,
+                    cause=open_seqs.pop() if open_seqs else None)
         for index, root in self._component_spans.items():
             root.set(steps=len(self.log.records),
                      terminated=self.configuration[index].is_terminated())
             tel.tracer.end_span(root)
         self._component_spans.clear()
         self._session_stacks.clear()
+        self._session_open_events.clear()
 
     def fire_matching(self, predicate: Callable[[NetworkTransition], bool]
                       ) -> NetworkTransition:
@@ -315,6 +335,10 @@ class Simulator:
             verdict = classify_stuckness(component, plan, self.repository)
             if verdict == "security":
                 policy_name, label = self._blame_blocked(component, plan)
+                tel = _telemetry.active()
+                if tel is not None:
+                    tel.emit("monitor.abort", component=index,
+                             policy=str(policy_name), label=str(label))
                 raise SecurityViolationError(
                     policy=dict(component.history.active_policies()),
                     history=component.history,

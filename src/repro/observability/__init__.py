@@ -19,20 +19,28 @@ counters, no allocations.  Enable it with ``REPRO_TELEMETRY=1``,
 
 from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          MetricsRegistry, render_key)
-from repro.observability.tracing import Span, Tracer, load_jsonl
+from repro.observability.tracing import (TRACE_SCHEMA, Span, Tracer,
+                                         iter_spans, load_jsonl,
+                                         merged_events)
+from repro.observability.events import (EVENTS_SCHEMA, Event, EventLog)
+from repro.observability.events import load_jsonl as load_events_jsonl
 from repro.observability.cache_stats import (CacheStatsAdapter, cache_stats,
                                              reset_cache_stats, track_cache,
                                              tracked_caches)
 from repro.observability.runtime import (Telemetry, active, default_scope,
                                          disable, enable, enabled,
-                                         get_registry, get_tracer,
-                                         metrics_snapshot, telemetry_session)
+                                         get_event_log, get_registry,
+                                         get_tracer, metrics_snapshot,
+                                         telemetry_session)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_key",
-    "Span", "Tracer", "load_jsonl",
+    "Span", "Tracer", "TRACE_SCHEMA", "iter_spans", "load_jsonl",
+    "merged_events",
+    "Event", "EventLog", "EVENTS_SCHEMA", "load_events_jsonl",
     "CacheStatsAdapter", "cache_stats", "reset_cache_stats", "track_cache",
     "tracked_caches",
     "Telemetry", "active", "default_scope", "disable", "enable", "enabled",
-    "get_registry", "get_tracer", "metrics_snapshot", "telemetry_session",
+    "get_event_log", "get_registry", "get_tracer", "metrics_snapshot",
+    "telemetry_session",
 ]

@@ -15,6 +15,7 @@ out of their loops and pay one attribute increment per observation.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator
@@ -67,15 +68,43 @@ class Gauge:
             self.value = value
 
 
+def _bucket_bounds() -> tuple[float, ...]:
+    """Geometric bucket upper bounds, 1e-7 .. 1e7, eight per decade.
+
+    Computed by repeated multiplication (no ``log``/``pow`` per
+    observation), so the boundary table is identical on every platform.
+    Fourteen decades cover both sub-microsecond timer observations and
+    integer-valued histograms (witness lengths, search depths).
+    """
+    ratio = 10.0 ** 0.125          # eight sub-buckets per decade
+    bounds: list[float] = []
+    value = 1e-7
+    for _ in range(14 * 8):
+        bounds.append(value)
+        value *= ratio
+    return tuple(bounds)
+
+
+#: Shared bucket boundary table (HDR-style: fixed, value-independent).
+BUCKET_BOUNDS = _bucket_bounds()
+
+
 class Histogram:
-    """A streaming summary of observations: count/total/min/max/mean.
+    """A fixed-bucket HDR-style streaming histogram.
+
+    Observations land in geometric buckets (:data:`BUCKET_BOUNDS`, eight
+    per decade, ~±15% relative resolution) plus underflow/overflow; the
+    exact count/total/min/max are kept alongside, so means are exact and
+    :meth:`percentile` answers p50/p95/p99 by exact rank selection over
+    the bucket counts (the returned value is the bucket's upper bound,
+    clamped to the observed min/max).
 
     Doubles as a wall-clock timer via :meth:`time` (observations in
     seconds), which is how the pipeline prices per-plan analyses and
     per-binding compliance checks.
     """
 
-    __slots__ = ("key", "count", "total", "min", "max")
+    __slots__ = ("key", "count", "total", "min", "max", "buckets")
 
     def __init__(self, key: MetricKey) -> None:
         self.key = key
@@ -83,6 +112,9 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # buckets[i] counts values <= BUCKET_BOUNDS[i]; the final slot
+        # is the overflow bucket (values above the largest bound).
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -91,10 +123,31 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """The value at ``quantile`` (0 < q <= 1) by rank selection.
+
+        The rank is exact (``ceil(q * count)``); the value is resolved
+        to the containing bucket's upper bound and clamped into
+        ``[min, max]``, so the answer is within one bucket (~15%) of the
+        true order statistic and deterministic across platforms.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(quantile * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(BUCKET_BOUNDS):
+                    return self.max
+                return min(max(BUCKET_BOUNDS[index], self.min), self.max)
+        return self.max  # pragma: no cover - unreachable
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -104,11 +157,28 @@ class Histogram:
         finally:
             self.observe(perf_counter() - start)
 
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Non-empty ``(upper_bound, cumulative_count)`` pairs, the
+        overflow bucket spelled as ``inf`` — the OpenMetrics shape."""
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if bucket_count:
+                bound = (math.inf if index >= len(BUCKET_BOUNDS)
+                         else BUCKET_BOUNDS[index])
+                pairs.append((bound, cumulative))
+        return pairs
+
     def summary(self) -> dict[str, float]:
+        empty = not self.count
         return {"count": self.count, "total": self.total,
                 "min": self.min if self.count else 0.0,
                 "max": self.max if self.count else 0.0,
-                "mean": self.mean}
+                "mean": self.mean,
+                "p50": 0.0 if empty else self.percentile(0.50),
+                "p95": 0.0 if empty else self.percentile(0.95),
+                "p99": 0.0 if empty else self.percentile(0.99)}
 
 
 class MetricsRegistry:
@@ -182,12 +252,77 @@ class MetricsRegistry:
             summary = histogram.summary()
             rows.append((render_key(key),
                          f"n={summary['count']} total={summary['total']:.6f}"
-                         f" mean={summary['mean']:.6f}"))
+                         f" mean={summary['mean']:.6f}"
+                         f" p50={summary['p50']:.6f}"
+                         f" p95={summary['p95']:.6f}"
+                         f" p99={summary['p99']:.6f}"))
         if not rows:
             return "(no metrics recorded)"
         width = max(len(name) for name, _ in rows)
         return "\n".join(f"{name:<{width}}  {value}"
                          for name, value in rows)
+
+    def render_openmetrics(self) -> str:
+        """The registry in OpenMetrics-style text exposition.
+
+        Counters become ``name_total``, gauges stay bare, histograms
+        expose cumulative ``name_bucket{le="..."}`` series (only
+        boundaries that received observations, plus ``+Inf``) with
+        ``name_sum``/``name_count``.  Metric names are sanitised to the
+        ``[a-zA-Z0-9_]`` charset; no exporter dependency is involved.
+        """
+
+        def metric_name(key: MetricKey) -> str:
+            name, _ = key
+            return "repro_" + "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+        def label_text(key: MetricKey, extra: str = "") -> str:
+            _, labels = key
+            parts = [f'{k}="{v}"' for k, v in labels]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        def fmt(value: float) -> str:
+            if value == math.inf:
+                return "+Inf"
+            return repr(value) if isinstance(value, float) else str(value)
+
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def declare(key: MetricKey, kind: str) -> str:
+            name = metric_name(key)
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+            return name
+
+        for key, counter in sorted(self._counters.items()):
+            name = declare(key, "counter")
+            lines.append(f"{name}_total{label_text(key)} "
+                         f"{fmt(counter.value)}")
+        for key, gauge in sorted(self._gauges.items()):
+            name = declare(key, "gauge")
+            lines.append(f"{name}{label_text(key)} {fmt(gauge.value)}")
+        for key, histogram in sorted(self._histograms.items()):
+            name = declare(key, "histogram")
+            pairs = histogram.bucket_counts()
+            for bound, cumulative in pairs:
+                le = 'le="' + fmt(bound) + '"'
+                lines.append(f"{name}_bucket{label_text(key, le)} "
+                             f"{cumulative}")
+            if not pairs or pairs[-1][0] != math.inf:
+                le = 'le="+Inf"'
+                lines.append(f"{name}_bucket{label_text(key, le)} "
+                             f"{histogram.count}")
+            lines.append(f"{name}_sum{label_text(key)} "
+                         f"{fmt(histogram.total)}")
+            lines.append(f"{name}_count{label_text(key)} "
+                         f"{histogram.count}")
+        lines.append("# EOF")
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return (len(self._counters) + len(self._gauges)

@@ -26,23 +26,38 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.observability.events import Event, EventLog
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
 
 
 class Telemetry:
-    """One enabled telemetry scope: a metrics registry plus a tracer."""
+    """One enabled telemetry scope: a metrics registry, a tracer, and
+    the flight-recorder event log."""
 
-    __slots__ = ("metrics", "tracer")
+    __slots__ = ("metrics", "tracer", "events")
 
     def __init__(self, metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 events: EventLog | None = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.events = events if events is not None else EventLog()
+
+    def emit(self, kind: str, /, *, cause: int | None = None,
+             **attrs: object) -> Event:
+        """Append a flight-recorder event correlated to the innermost
+        open span on this thread (the session id comes from the event
+        log's enclosing :meth:`EventLog.session` context)."""
+        current = self.tracer.current()
+        return self.events.emit(
+            kind, span=current.span_id if current is not None else None,
+            cause=cause, **attrs)
 
     def reset(self) -> None:
         self.metrics.reset()
         self.tracer.reset()
+        self.events.reset()
 
 
 #: The process-default scope (used when enabling without an explicit one).
@@ -120,11 +135,20 @@ def telemetry_session(scope: Telemetry | None = None
         _ACTIVE = previous
 
 
-def metrics_snapshot(include_caches: bool = True) -> dict:
+def get_event_log() -> EventLog:
+    """The active flight recorder (default scope's when disabled)."""
+    return (_ACTIVE or _DEFAULT).events
+
+
+def metrics_snapshot(include_caches: bool = True,
+                     include_events: bool = True) -> dict:
     """The active scope's metrics snapshot, optionally merged with the
-    tracked ``lru_cache`` statistics (hits/misses/currsize per cache)."""
+    tracked ``lru_cache`` statistics (hits/misses/currsize per cache)
+    and the flight recorder's per-kind event counters."""
     snapshot = get_registry().snapshot()
     if include_caches:
         from repro.observability.cache_stats import cache_stats
         snapshot["caches"] = cache_stats()
+    if include_events:
+        snapshot["events"] = get_event_log().counters()
     return snapshot

@@ -11,29 +11,40 @@ simulator's concurrent sessions).
 Span construction is counted in ``Span.constructed`` — a process-global
 class attribute the no-op fast-path tests use to assert that a disabled
 pipeline allocates *zero* spans.
+
+Point events carry a per-tracer monotone ``seq`` so the *global* event
+order across interleaved spans (two simulator sessions taking turns)
+survives the JSONL round trip: :func:`merged_events` re-sorts by it.
+Exports start with a ``{"schema": "repro-trace.v1"}`` header line and
+:func:`load_jsonl` rejects unknown schema versions.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from itertools import count
 from time import perf_counter
-from typing import Iterator
+from typing import Callable, Iterator
 
 from contextlib import contextmanager
+
+#: Schema tag on the header line of every JSONL export.
+TRACE_SCHEMA = "repro-trace.v1"
 
 
 class Span:
     """One timed region: name, attributes, point events, children."""
 
     __slots__ = ("span_id", "parent_id", "name", "attrs", "events",
-                 "start", "end", "children")
+                 "start", "end", "children", "_seq_source")
 
     #: Total Span constructions in this process (no-op fast-path tests).
     constructed = 0
 
     def __init__(self, span_id: int, parent_id: int | None, name: str,
-                 attrs: dict | None = None, start: float = 0.0) -> None:
+                 attrs: dict | None = None, start: float = 0.0,
+                 seq_source: Callable[[], int] | None = None) -> None:
         Span.constructed += 1
         self.span_id = span_id
         self.parent_id = parent_id
@@ -43,6 +54,7 @@ class Span:
         self.start = start
         self.end: float | None = None
         self.children: list[Span] = []
+        self._seq_source = seq_source
 
     @property
     def duration(self) -> float:
@@ -55,8 +67,12 @@ class Span:
 
     def add_event(self, name: str, **attrs: object) -> None:
         """Record a point event inside the span (communications, framing
-        opens/closes, monitor aborts…)."""
+        opens/closes, monitor aborts…).  Tracer-created spans stamp the
+        event with a tracer-wide monotone ``seq`` so interleaved spans'
+        events keep their global order through export/load."""
         event = {"name": name}
+        if self._seq_source is not None:
+            event["seq"] = self._seq_source()
         if attrs:
             event.update(attrs)
         self.events.append(event)
@@ -85,6 +101,7 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._next_id = 1
+        self._event_seq = count(1)
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -113,7 +130,8 @@ class Tracer:
             self._next_id += 1
         span = Span(span_id,
                     parent.span_id if parent is not None else None,
-                    name, attrs, start=perf_counter())
+                    name, attrs, start=perf_counter(),
+                    seq_source=self._event_seq.__next__)
         if parent is not None:
             parent.children.append(span)
         self.spans.append(span)
@@ -150,6 +168,12 @@ class Tracer:
         """Drop every recorded span (open ones are abandoned)."""
         self.spans.clear()
         self._local = threading.local()
+        self._event_seq = count(1)
+
+    def merged_events(self) -> list[tuple[Span, dict]]:
+        """Every point event across all spans, in global emission order
+        (by ``seq``; events without one sort first, in span order)."""
+        return merged_events(self.spans)
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -157,11 +181,14 @@ class Tracer:
     # -- export -------------------------------------------------------------
 
     def export_jsonl(self) -> str:
-        """One JSON object per span, in creation order (parents precede
-        their children, so a stream consumer can rebuild the tree)."""
-        return "\n".join(json.dumps(span.to_record(), sort_keys=True,
-                                    default=str)
-                         for span in self.spans)
+        """A ``{"schema": ...}`` header line followed by one JSON object
+        per span, in creation order (parents precede their children, so
+        a stream consumer can rebuild the tree)."""
+        lines = [json.dumps({"schema": TRACE_SCHEMA}, sort_keys=True)]
+        lines.extend(json.dumps(span.to_record(), sort_keys=True,
+                                default=str)
+                     for span in self.spans)
+        return "\n".join(lines)
 
     def render_tree(self, unit: str = "ms") -> str:
         """The forest of spans as an indented, durations-annotated tree."""
@@ -178,7 +205,7 @@ class Tracer:
                          f"[{span.duration * scale:.3f}{unit}]{attrs}")
             for event in span.events:
                 extra = " ".join(f"{k}={v}" for k, v in event.items()
-                                 if k != "name")
+                                 if k not in ("name", "seq"))
                 lines.append(f"{indent}  · {event['name']}"
                              + (f" {extra}" if extra else ""))
             for child in span.children:
@@ -189,19 +216,52 @@ class Tracer:
         return "\n".join(lines) if lines else "(no spans recorded)"
 
 
+def merged_events(spans: list[Span]) -> list[tuple[Span, dict]]:
+    """Flatten ``(span, event)`` pairs across spans into global emission
+    order.  Events carry a tracer-assigned monotone ``seq``; legacy
+    events without one keep their per-span position and sort first."""
+    pairs: list[tuple[int, int, Span, dict]] = []
+    for span_index, span in enumerate(spans):
+        for event in span.events:
+            pairs.append((event.get("seq", 0), span_index, span, event))
+    pairs.sort(key=lambda item: (item[0], item[1]))
+    return [(span, event) for _, _, span, event in pairs]
+
+
+def iter_spans(roots: list[Span]) -> Iterator[Span]:
+    """Depth-first traversal of a span forest (for loaded trees, whose
+    flat creation-order list is not otherwise available)."""
+    for root in roots:
+        yield root
+        yield from iter_spans(root.children)
+
+
 def load_jsonl(text: str) -> list[Span]:
     """Rebuild a span forest from :meth:`Tracer.export_jsonl` output.
 
-    Returns the root spans with parent/child links restored; durations
-    and attributes round-trip exactly (timestamps stay as exported).
+    Returns the root spans with parent/child links restored; durations,
+    attributes and event ``seq`` stamps round-trip exactly (timestamps
+    stay as exported).  The leading schema header is validated: an
+    unknown version raises :class:`ValueError`; a headerless stream is
+    accepted as the legacy (pre-versioning) format.
     """
     by_id: dict[int, Span] = {}
     roots: list[Span] = []
+    first = True
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         record = json.loads(line)
+        if first:
+            first = False
+            schema = record.get("schema")
+            if schema is not None:
+                if schema != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"unsupported trace schema {schema!r} "
+                        f"(expected {TRACE_SCHEMA!r})")
+                continue
         span = Span(record["span_id"], record["parent_id"],
                     record["name"], record["attrs"],
                     start=record["start"])

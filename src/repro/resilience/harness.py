@@ -189,7 +189,12 @@ def run_chaos(clients, repository: Repository, *,
     plan (that is the hypothesis of the invariant), so an unverified
     module raises :class:`ReproError` instead of producing a report.
     """
-    verdict = verify_network(dict(clients), repository)
+    tel = _telemetry.active()
+    if tel is not None:
+        with tel.events.session("verify"):
+            verdict = verify_network(dict(clients), repository)
+    else:
+        verdict = verify_network(dict(clients), repository)
     if not verdict.verified:
         failing = ", ".join(client.location for client in verdict.clients
                             if not client.verified)
@@ -201,7 +206,6 @@ def run_chaos(clients, repository: Repository, *,
     rng = random.Random(seed)
     report = ChaosReport(module=module, seed=seed, trials=trials,
                          kinds=tuple(kinds), recover=recover)
-    tel = _telemetry.active()
     for trial in range(trials):
         trial_seed = rng.randrange(2 ** 32)
         fault_plan = sample_fault_plan(random.Random(trial_seed),
@@ -218,7 +222,14 @@ def run_chaos(clients, repository: Repository, *,
                                 max_steps=max_steps,
                                 deadline=deadline,
                                 seed=trial_seed)
-        result = supervisor.run()
+        if tel is not None:
+            # Every event of the trial — fault injections, aborts,
+            # recoveries, the verdict — carries the trial's session id,
+            # so a report can slice the flight recorder per trial.
+            with tel.events.session(f"trial-{trial}"):
+                result = supervisor.run()
+        else:
+            result = supervisor.run()
         breaker_transitions = tuple(
             (location, source, target, tick)
             for location, transitions in result.breakers.items()

@@ -75,12 +75,15 @@ class CircuitBreaker:
         self.transitions: list[tuple[str, str, int]] = []
 
     def _goto(self, state: str, now: int) -> None:
-        self.transitions.append((self.state, state, now))
+        previous = self.state
+        self.transitions.append((previous, state, now))
         self.state = state
         tel = _telemetry.active()
         if tel is not None:
             tel.metrics.counter("resilience.breaker_transitions",
                                 to=state).inc()
+            tel.emit("breaker.transition", from_state=previous,
+                     to_state=state, tick=now)
 
     def allows(self, now: int) -> bool:
         """May traffic be routed to the location at tick *now*?  (An
@@ -190,6 +193,12 @@ class Supervisor:
         self.breakers: dict[str, CircuitBreaker] = {}
         self.blocked_transitions = 0
         self._applied_mutations: set[Fault] = set()
+        # Flight-recorder correlation state: the "fault.injected" event
+        # seq per fault (each fault is recorded once, however many
+        # transitions it blocks) and the seq of the most recent causal
+        # event, which the final "run.verdict" links back to.
+        self._fault_events: dict[Fault, int] = {}
+        self._last_event_seq: int | None = None
         #: Per-component stack of open session target locations.
         self._session_targets: list[list[str]] = [
             [] for _ in self.clients]
@@ -232,6 +241,7 @@ class Supervisor:
                 if tel is not None:
                     tel.metrics.counter("resilience.faults_injected",
                                         kind="byzantine").inc()
+                    self._note_fault(tel, fault)
 
     def _filtered(self) -> tuple[list[NetworkTransition],
                                  list[NetworkTransition],
@@ -252,6 +262,7 @@ class Supervisor:
                 if tel is not None:
                     tel.metrics.counter("resilience.faults_injected",
                                         kind=fault.kind).inc()
+                    self._note_fault(tel, fault)
                 continue
             if transition.rule == "open":
                 target = self._open_target(transition, before)
@@ -260,6 +271,31 @@ class Supervisor:
                     continue
             allowed.append(transition)
         return raw, allowed, blocking
+
+    def _note_fault(self, tel, fault: Fault) -> None:
+        """Record *fault* in the flight recorder exactly once (its event
+        seq anchors every abort it later causes)."""
+        if fault not in self._fault_events:
+            event = tel.emit("fault.injected", kind=fault.kind,
+                             location=fault.location,
+                             request=fault.request, tick=self.clock)
+            self._fault_events[fault] = event.seq
+
+    def _abort_cause(self, index: int,
+                     blocking: dict[int, Fault]) -> int | None:
+        """The "fault.injected" seq behind component *index*'s abort:
+        its blocking fault if one was recorded, otherwise the first
+        recorded fault at a location the component is engaged with (the
+        crash-starvation diagnosis path)."""
+        fault = blocking.get(index)
+        if fault is not None:
+            return self._fault_events.get(fault)
+        component = self.simulator.configuration[index]
+        engaged = set(locations(component.tree))
+        for fault, seq in self._fault_events.items():
+            if fault.location and fault.location in engaged:
+                return seq
+        return None
 
     def _open_target(self, transition: NetworkTransition,
                      before) -> str | None:
@@ -297,6 +333,9 @@ class Supervisor:
                 status, diagnosis, cause = self._loop()
                 span.set(status=status, steps=len(self.simulator.log),
                          clock=self.clock, episodes=len(self.episodes))
+                tel.emit("run.verdict", status=status,
+                         steps=len(self.simulator.log), clock=self.clock,
+                         cause=self._last_event_seq)
         return SupervisorResult(
             status=status,
             steps=len(self.simulator.log),
@@ -335,6 +374,13 @@ class Supervisor:
                 return "completed", None, None
             # -- nothing may fire: diagnose ---------------------------------
             component, trigger, suspects = self._diagnose(raw, blocking)
+            tel = _telemetry.active()
+            if tel is not None:
+                abort = tel.emit("session.abort", component=component,
+                                 trigger=trigger, tick=self.clock,
+                                 cause=self._abort_cause(component,
+                                                         blocking))
+                self._last_event_seq = abort.seq
             if trigger == "security":
                 cause = self.simulator._blame_blocked(
                     self.simulator.configuration[component],
@@ -446,6 +492,10 @@ class Supervisor:
             self.clock += delay
             if tel is not None:
                 tel.metrics.counter("resilience.retries").inc()
+                self._last_event_seq = tel.emit(
+                    "recovery.retry", component=episode.component,
+                    waited=delay, tick=self.clock,
+                    cause=self._last_event_seq).seq
             self._apply_due_mutations()
             _raw, allowed, _blocking = self._filtered()
             if allowed:
@@ -469,16 +519,31 @@ class Supervisor:
                           location=client)
         if new_plan is None:
             episode.outcome = "gave-up"
+            if tel is not None:
+                self._last_event_seq = tel.emit(
+                    "recovery.gave-up", component=index,
+                    excluded=", ".join(excluded), tick=self.clock,
+                    cause=self._last_event_seq).seq
             return
         component = self.simulator.configuration[index]
         restarted = compensate(component, client, self.clients[client])
         self.simulator.configuration = \
             self.simulator.configuration.replace(index, restarted)
+        if tel is not None:
+            self._last_event_seq = tel.emit(
+                "recovery.compensate", component=index,
+                tick=self.clock, cause=self._last_event_seq).seq
         self._plans[index] = new_plan
         self.simulator.plans = PlanVector(tuple(self._plans))
         self._session_targets[index] = []
         episode.outcome = "failed-over"
         episode.new_plan = str(new_plan)
+        if tel is not None:
+            self._last_event_seq = tel.emit(
+                "recovery.replan", component=index,
+                new_plan=str(new_plan),
+                excluded=", ".join(excluded), tick=self.clock,
+                cause=self._last_event_seq).seq
 
 
 def _rewrite_leaves(tree, location: str, rewrite):

@@ -179,6 +179,9 @@ def analyze_module(module: Module, *,
         analysis = _analyze(module, max_plans, engine)
         span.set(ok=analysis.ok, terms=len(analysis.terms),
                  pairs=len(analysis.pairs))
+        tel.emit("staticcheck.verdict", ok=analysis.ok,
+                 engine=engine, terms=len(analysis.terms),
+                 pairs=len(analysis.pairs))
         return analysis
 
 

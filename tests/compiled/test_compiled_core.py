@@ -156,6 +156,35 @@ class TestMemoisationAndClearCascade:
                      "compiled.validity_terms"):
             assert name in stats, name
 
+    def test_label_table_stats_reflect_compiled_state(self):
+        from repro.compiled.tables import label_table_stats
+        clear_contract_caches()
+        assert label_table_stats() == {"labels": 0, "channels": 0,
+                                       "compiled_contracts": 0}
+        compile_contract(internal(("a", send("b"))))
+        stats = label_table_stats()
+        assert stats["compiled_contracts"] == 1
+        assert stats["labels"] > 0 and stats["channels"] > 0
+
+    def test_clear_rebaselines_flight_recorder_counters(self):
+        """``clear_contract_caches`` must rebaseline the flight
+        recorder: post-clear counters read zero (the ``cache.cleared``
+        marker included), and fresh compilations count from scratch."""
+        from repro.observability import runtime
+        clear_contract_caches()
+        term = internal(("a", send("b")))
+        with runtime.telemetry_session() as tel:
+            compile_contract(term)
+            assert tel.events.counters()["compile.contract"] == 1
+            clear_contract_caches()
+            assert tel.events.counters() == {}
+            # The events themselves survive — only the counters restart.
+            assert tel.events.find("cache.cleared")
+            compile_contract(term)
+            counters = tel.events.counters()
+            assert counters["compile.contract"] == 1
+            assert "cache.cleared" not in counters
+
 
 class TestCompiledSearchLimits:
     def test_limit_error_matches_interpreted(self):

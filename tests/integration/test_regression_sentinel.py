@@ -1,0 +1,135 @@
+"""The perf-regression sentinel (``benchmarks/check_regression.py``).
+
+The committed trajectory files anchor the contract: BENCH_1 → BENCH_2
+is an improvement and must pass; the committed 2x-slowdown fixture must
+trip every shared indicator.  Synthetic files exercise discovery,
+tolerance boundaries and the usage-error paths.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SENTINEL = REPO / "benchmarks" / "check_regression.py"
+FIXTURE = REPO / "benchmarks" / "fixtures" / "BENCH_2x_slowdown.json"
+
+
+def run_sentinel(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(SENTINEL), *args],
+                          capture_output=True, text=True, timeout=60)
+
+
+class TestCommittedTrajectories:
+    def test_bench1_to_bench2_passes(self):
+        result = run_sentinel("--baseline", str(REPO / "BENCH_1.json"),
+                              "--candidate", str(REPO / "BENCH_2.json"))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no regressions" in result.stdout
+
+    def test_2x_slowdown_fixture_fails(self):
+        result = run_sentinel("--baseline", str(REPO / "BENCH_2.json"),
+                              "--candidate", str(FIXTURE))
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "FAIL" in result.stdout
+
+    def test_json_verdict_is_machine_readable(self):
+        result = run_sentinel("--baseline", str(REPO / "BENCH_2.json"),
+                              "--candidate", str(FIXTURE),
+                              "--format", "json")
+        assert result.returncode == 1
+        verdict = json.loads(result.stdout)
+        assert verdict["schema"] == "repro-regression.v1"
+        assert verdict["ok"] is False
+        assert verdict["regressions"] == verdict["compared"] > 0
+        for record in verdict["indicators"]:
+            assert record["ratio"] == pytest.approx(
+                record["candidate"] / record["baseline"])
+
+    def test_only_shared_indicators_are_compared(self):
+        """BENCH_1 is v1 (no compiled core), so compiled indicators
+        must not appear in a BENCH_1-based comparison."""
+        result = run_sentinel("--baseline", str(REPO / "BENCH_1.json"),
+                              "--candidate", str(REPO / "BENCH_2.json"),
+                              "--format", "json")
+        verdict = json.loads(result.stdout)
+        names = {record["indicator"] for record in verdict["indicators"]}
+        assert "compiled_median_speedup" not in names
+        assert "noncompliant_mean_speedup" in names
+
+
+def _write_bench(path: pathlib.Path, speedup: float,
+                 overhead: float = 1.5) -> None:
+    path.write_text(json.dumps({
+        "schema": "repro-bench.v3",
+        "suites": {
+            "s2": {"memoized_mean_speedup": speedup},
+            "r1": {"fault_free_overhead": overhead},
+        },
+    }))
+
+
+class TestToleranceBoundary:
+    def test_within_tolerance_passes(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 2.0)
+        _write_bench(tmp_path / "BENCH_2.json", 1.3)  # x0.65 > 0.6
+        result = run_sentinel("--dir", str(tmp_path))
+        assert result.returncode == 0, result.stdout
+
+    def test_past_tolerance_fails(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 2.0)
+        _write_bench(tmp_path / "BENCH_2.json", 1.1)  # x0.55 < 0.6
+        result = run_sentinel("--dir", str(tmp_path))
+        assert result.returncode == 1
+
+    def test_lower_is_better_direction(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 2.0, overhead=1.5)
+        _write_bench(tmp_path / "BENCH_2.json", 2.0, overhead=3.0)
+        result = run_sentinel("--dir", str(tmp_path), "--format", "json")
+        assert result.returncode == 1
+        failing = [record for record
+                   in json.loads(result.stdout)["indicators"]
+                   if not record["ok"]]
+        assert [record["indicator"] for record in failing] == [
+            "fault_free_overhead"]
+
+    def test_custom_tolerance(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 2.0)
+        _write_bench(tmp_path / "BENCH_2.json", 1.1)
+        result = run_sentinel("--dir", str(tmp_path),
+                              "--tolerance", "0.5")  # floor 0.5 < 0.55
+        assert result.returncode == 0
+
+
+class TestDiscoveryAndErrors:
+    def test_discovery_picks_two_highest_numbers(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 5.0)
+        _write_bench(tmp_path / "BENCH_2.json", 2.0)
+        _write_bench(tmp_path / "BENCH_10.json", 2.0)  # numeric sort
+        result = run_sentinel("--dir", str(tmp_path), "--format", "json")
+        verdict = json.loads(result.stdout)
+        assert verdict["baseline"] == "BENCH_2.json"
+        assert verdict["candidate"] == "BENCH_10.json"
+        assert result.returncode == 0
+
+    def test_fewer_than_two_files_is_usage_error(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_1.json", 2.0)
+        result = run_sentinel("--dir", str(tmp_path))
+        assert result.returncode == 2
+        assert "need at least two" in result.stderr
+
+    def test_non_bench_json_is_usage_error(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something-else"}')
+        _write_bench(tmp_path / "base.json", 2.0)
+        result = run_sentinel("--baseline", str(tmp_path / "base.json"),
+                              "--candidate", str(bogus))
+        assert result.returncode == 2
+        assert "not a benchmark file" in result.stderr
+
+    def test_baseline_without_candidate_is_usage_error(self):
+        result = run_sentinel("--baseline", str(REPO / "BENCH_1.json"))
+        assert result.returncode == 2

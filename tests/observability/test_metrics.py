@@ -63,7 +63,43 @@ class TestHistogram:
         registry = MetricsRegistry()
         summary = registry.histogram("empty").summary()
         assert summary == {"count": 0, "total": 0.0, "min": 0.0,
-                           "max": 0.0, "mean": 0.0}
+                           "max": 0.0, "mean": 0.0,
+                           "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_percentiles_by_rank_selection(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        # Bucket resolution is ~15%; rank selection must land within it.
+        assert histogram.percentile(0.50) == pytest.approx(50.0, rel=0.16)
+        assert histogram.percentile(0.95) == pytest.approx(95.0, rel=0.16)
+        assert histogram.percentile(0.99) == pytest.approx(99.0, rel=0.16)
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("one")
+        histogram.observe(0.25)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.25
+
+    def test_percentiles_are_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("mono")
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0, 10.0, 0.01):
+            histogram.observe(value)
+        assert (histogram.percentile(0.5) <= histogram.percentile(0.95)
+                <= histogram.percentile(0.99) <= histogram.max)
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("buckets")
+        for value in (0.5, 0.5, 2.0):
+            histogram.observe(value)
+        pairs = histogram.bucket_counts()
+        assert [count for _, count in pairs] == [2, 3]
+        assert pairs[0][0] >= 0.5 and pairs[1][0] >= 2.0
 
     def test_time_context_manager_observes_once(self):
         registry = MetricsRegistry()
@@ -110,3 +146,36 @@ class TestSnapshot:
 
     def test_render_table_empty(self):
         assert "no metrics" in MetricsRegistry().render_table()
+
+
+class TestOpenMetrics:
+    def test_exposition_has_types_series_and_eof(self):
+        registry = MetricsRegistry()
+        registry.counter("compliance.checks", engine="compiled").inc(2)
+        registry.gauge("search.frontier").set(10)
+        registry.histogram("planner.seconds").observe(0.5)
+        text = registry.render_openmetrics()
+        lines = text.splitlines()
+        assert "# TYPE repro_compliance_checks counter" in lines
+        assert 'repro_compliance_checks_total{engine="compiled"} 2' in lines
+        assert "# TYPE repro_search_frontier gauge" in lines
+        assert "# TYPE repro_planner_seconds histogram" in lines
+        assert any(line.startswith("repro_planner_seconds_bucket{le=")
+                   for line in lines)
+        assert "repro_planner_seconds_count 1" in lines
+        assert lines[-1] == "# EOF"
+
+    def test_bucket_series_end_in_inf_and_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (0.001, 0.002, 1e9):  # last lands in overflow
+            histogram.observe(value)
+        lines = registry.render_openmetrics().splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("repro_h_bucket")]
+        assert buckets[-1].startswith('repro_h_bucket{le="+Inf"}')
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts) and counts[-1] == 3
+
+    def test_empty_registry_is_just_eof(self):
+        assert MetricsRegistry().render_openmetrics() == "# EOF"

@@ -14,6 +14,7 @@ from repro.contracts.contract import Contract
 from repro.contracts.product import search_product
 from repro.core.compliance import check_compliance
 from repro.observability import runtime
+from repro.observability.events import Event
 from repro.observability.tracing import Span
 
 
@@ -52,6 +53,29 @@ class TestDisabledFastPath:
         before = Span.constructed
         assert check_compliance(client, server).compliant
         assert Span.constructed == before
+
+    def test_search_product_appends_zero_events(self, contracts):
+        client, server = contracts
+        search_product(client, server)  # warm the caches
+        before = Event.appended
+        for _ in range(5):
+            search_product(client, server)
+        assert Event.appended == before, \
+            "disabled telemetry must not append flight-recorder events"
+
+    def test_compiled_s1_hot_path_allocates_nothing(self, contracts):
+        """The S1 hot path under ``engine="compiled"``: with telemetry
+        off, the compile + search pipeline constructs zero spans and
+        appends zero flight-recorder events."""
+        client, server = contracts
+        search_product(client, server, engine="compiled")  # warm tables
+        spans_before = Span.constructed
+        events_before = Event.appended
+        for _ in range(5):
+            result = search_product(client, server, engine="compiled")
+        assert result.empty
+        assert Span.constructed == spans_before
+        assert Event.appended == events_before
 
     def test_default_registry_stays_empty(self, contracts):
         client, server = contracts

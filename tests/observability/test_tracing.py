@@ -1,6 +1,10 @@
 """Tests for tracing spans: nesting, export, and JSONL round-trip."""
 
-from repro.observability.tracing import Span, Tracer, load_jsonl
+import pytest
+
+from repro.observability.tracing import (TRACE_SCHEMA, Span, Tracer,
+                                         iter_spans, load_jsonl,
+                                         merged_events)
 
 
 class TestNesting:
@@ -45,7 +49,7 @@ class TestNesting:
             span.set(explored=12)
             span.add_event("communication", channel="Req")
         assert span.attrs == {"engine": "onthefly", "explored": 12}
-        assert span.events == [{"name": "communication",
+        assert span.events == [{"name": "communication", "seq": 1,
                                 "channel": "Req"}]
 
     def test_find_by_name(self):
@@ -109,12 +113,13 @@ class TestJsonlRoundTrip:
                 assert abs(span.duration - original.duration) < 1e-9
                 stack.extend(span.children)
 
-    def test_export_is_one_json_object_per_line(self):
+    def test_export_is_schema_header_plus_one_object_per_line(self):
         import json
         tracer = self._sample_tracer()
         lines = tracer.export_jsonl().splitlines()
-        assert len(lines) == len(tracer)
-        for line in lines:
+        assert len(lines) == len(tracer) + 1
+        assert json.loads(lines[0]) == {"schema": TRACE_SCHEMA}
+        for line in lines[1:]:
             record = json.loads(line)
             assert {"span_id", "parent_id", "name", "attrs", "events",
                     "start", "duration"} <= set(record)
@@ -137,14 +142,50 @@ class TestJsonlRoundTrip:
         again = "\n".join(json.dumps(record, sort_keys=True, default=str)
                           for record in flat)
         assert {json.dumps(json.loads(line), sort_keys=True)
-                for line in once.splitlines()} == {
+                for line in once.splitlines()[1:]} == {
             json.dumps(json.loads(line), sort_keys=True)
             for line in again.splitlines()}
 
     def test_empty_tracer_renders_placeholder(self):
+        import json
         tracer = Tracer()
-        assert tracer.export_jsonl() == ""
+        assert json.loads(tracer.export_jsonl()) == {
+            "schema": TRACE_SCHEMA}
         assert "no spans" in tracer.render_tree()
+
+    def test_unknown_schema_version_is_rejected(self):
+        tracer = self._sample_tracer()
+        export = tracer.export_jsonl()
+        tampered = export.replace(TRACE_SCHEMA, "repro-trace.v99")
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_jsonl(tampered)
+
+    def test_headerless_legacy_stream_is_accepted(self):
+        tracer = self._sample_tracer()
+        legacy = "\n".join(tracer.export_jsonl().splitlines()[1:])
+        roots = load_jsonl(legacy)
+        assert [root.name for root in roots] == [
+            "planner.find_valid_plans"]
+
+    def test_interleaved_event_order_survives_round_trip(self):
+        tracer = Tracer()
+        a = tracer.start_span("session.a")
+        b = tracer.start_span("session.b")
+        a.add_event("communication", step=1)
+        b.add_event("communication", step=2)
+        a.add_event("framing_open", step=3)
+        b.add_event("framing_close", step=4)
+        tracer.end_span(b)
+        tracer.end_span(a)
+
+        original = [(span.name, event["step"])
+                    for span, event in tracer.merged_events()]
+        assert [step for _, step in original] == [1, 2, 3, 4]
+
+        roots = load_jsonl(tracer.export_jsonl())
+        loaded = [(span.name, event["step"])
+                  for span, event in merged_events(list(iter_spans(roots)))]
+        assert loaded == original
 
 
 class TestRenderTree:
