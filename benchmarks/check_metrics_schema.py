@@ -6,11 +6,13 @@ a benchmark file whose cases stopped carrying the instrumentation
 snapshot (counters, cache hit/miss stats, explored-state counts) fails
 the build, so the observability layer cannot silently rot.
 
-Accepts every historical schema (``repro-bench.v1``/``v2``/``v3``); on
-v3 files it additionally requires the per-engine warm timings,
+Accepts every historical schema (``repro-bench.v1`` through ``v4``);
+on v3+ files it additionally requires the per-engine warm timings,
 compile-time split and verdict-agreement flags on S1 cases, and the
 certifier cases (with the compiled term-table cache in their snapshot)
-on S3.
+on S3.  On v4 files carrying an S4 suite, every registry case must
+report its pruning ratio, lookup speedup and verdict-identity flag,
+with ``registry.*`` counters in the instrumentation snapshot.
 
 Usage::
 
@@ -48,7 +50,8 @@ B1_REQUIRED_COUNTERS = ("staticcheck.explored_states",)
 #: Cache adapters that must additionally appear in B1 snapshots.
 B1_REQUIRED_CACHES = ("staticcheck.validity",)
 
-ACCEPTED_SCHEMAS = ("repro-bench.v1", "repro-bench.v2", "repro-bench.v3")
+ACCEPTED_SCHEMAS = ("repro-bench.v1", "repro-bench.v2", "repro-bench.v3",
+                    "repro-bench.v4")
 
 #: Engines whose warm solve time every v3 S1 case must report.
 V3_S1_ENGINES = ("onthefly", "eager", "gfp", "compiled")
@@ -65,6 +68,15 @@ V3_S3_CERTIFIER_KEYS = ("interpreted_seconds", "compiled_seconds",
 #: Cache adapter that must appear in v3 S3 certifier snapshots: the
 #: compiled term-table memo proves the compiled path actually ran.
 V3_S3_CERTIFIER_CACHE = "compiled.validity_terms"
+
+#: Keys every v4 S4 registry case must carry.
+V4_S4_CASE_KEYS = ("entries", "build_seconds", "indexed_seconds",
+                   "exhaustive_seconds", "lookup_speedup",
+                   "pruning_ratio", "verdicts_identical")
+
+#: Counter prefixes the v4 S4 instrumentation snapshot must include:
+#: the registry path really ran, with its query counters recorded.
+V4_S4_COUNTER_PREFIXES = ("registry.adds", "registry.queries")
 
 
 def _check_snapshot(metrics: dict, where: str, errors: list[str],
@@ -124,7 +136,8 @@ def check_file(path: Path) -> list[str]:
         # v1 predates the instrumentation snapshots: schema recognised,
         # nothing further to require.
         return errors
-    v3 = schema == "repro-bench.v3"
+    v3 = schema in ("repro-bench.v3", "repro-bench.v4")
+    v4 = schema == "repro-bench.v4"
     suites = report.get("suites", {})
     for case_index, case in enumerate(suites.get("s1", {}).get("cases",
                                                                ())):
@@ -178,6 +191,24 @@ def check_file(path: Path) -> list[str]:
                     errors.append(
                         f"{where}: cache stats for "
                         f"{V3_S3_CERTIFIER_CACHE!r} missing")
+    if v4:
+        for case_index, case in enumerate(suites.get("s4", {}).get(
+                "cases", ())):
+            where = f"{path}: s4.cases[{case_index}]"
+            for key in V4_S4_CASE_KEYS:
+                if key not in case:
+                    errors.append(f"{where}: key {key!r} missing (v4)")
+            if case.get("verdicts_identical") is not True:
+                errors.append(f"{where}: verdicts_identical is not true")
+            metrics = case.get("metrics")
+            if not isinstance(metrics, dict):
+                errors.append(f"{where}: metrics object missing")
+                continue
+            _check_snapshot(metrics, where, errors)
+            counters = metrics.get("counters", {})
+            for prefix in V4_S4_COUNTER_PREFIXES:
+                if not any(key.startswith(prefix) for key in counters):
+                    errors.append(f"{where}: counter {prefix!r}* missing")
     for case_index, case in enumerate(suites.get("b1", {}).get("cases",
                                                                ())):
         where = f"{path}: b1.cases[{case_index}]"

@@ -83,6 +83,10 @@ INDICATORS = (
                                   "monitor_seconds")),
     ("s3", "certifier_median_compiled_speedup", "higher",
      lambda s: _suite_key(s, "certifier_median_compiled_speedup")),
+    ("s4", "median_pruning_ratio", "higher",
+     lambda s: _suite_key(s, "median_pruning_ratio")),
+    ("s4", "median_lookup_speedup", "higher",
+     lambda s: _suite_key(s, "median_lookup_speedup")),
     ("r1", "fault_free_overhead", "lower",
      lambda s: _suite_key(s, "fault_free_overhead")),
     ("b1", "median_amortisation", "higher",

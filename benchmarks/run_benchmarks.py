@@ -21,6 +21,11 @@ process and records their ratio:
   *certifier* scaling family: the interpreted ⟨residual, monitor⟩
   product BFS vs the compiled interned one on ``policy_grid_client``,
   certificates asserted identical;
+* **S4** — registry discovery: a signature-indexed
+  :class:`ContractRegistry` populated with a seeded contract family,
+  answering ``find_compliant``/``find_substitutable`` query batches via
+  bucket pruning + fingerprint dedup vs the exhaustive all-pairs
+  product/preorder baseline, match sets asserted identical;
 * **R1** — resilience: the bare simulator vs the fault-free supervised
   run (the supervision tax), and the supervised run under a transient
   drop (retry) and a crash with an alternative (failover);
@@ -31,7 +36,7 @@ process and records their ratio:
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--output-dir DIR] [--suites s1,s2,s3,r1,b1] [--repeats N]
+        [--output-dir DIR] [--suites s1,s2,s3,s4,r1,b1] [--repeats N]
 
 The output file is ``BENCH_<n>.json`` with the smallest unused ``n`` in
 the output directory (repository root by default); see DESIGN.md
@@ -424,6 +429,177 @@ def _run_s3_certifiers(quick: bool, repeats: int) -> list[dict]:
     return certifier_cases
 
 
+# -- S4: registry discovery --------------------------------------------------
+
+S4_CHANNELS = "abcdefgh"
+
+
+def _s4_contract(rng, depth):
+    """Seeded contract family for the registry scaling suite: the T1
+    grammar plus guarded recursion, over per-contract channel subsets of
+    an 8-channel pool so the population spreads across many signature
+    buckets."""
+    from repro.core.syntax import EPSILON, Seq, external, internal, mu
+
+    if depth == 0:
+        return EPSILON
+    kind = rng.randrange(4)
+    chans = rng.sample(S4_CHANNELS, rng.randint(1, 3))
+    if kind == 0:
+        return internal(*((c, _s4_contract(rng, depth - 1))
+                          for c in chans))
+    if kind == 1:
+        return external(*((c, _s4_contract(rng, depth - 1))
+                          for c in chans))
+    if kind == 2:
+        return mu("h", internal((chans[0],
+                                 _s4_contract(rng, depth - 1))))
+    return Seq(_s4_contract(rng, depth - 1),
+               _s4_contract(rng, depth - 1))
+
+
+def _s4_dual(term):
+    from repro.core.actions import Receive, Send
+    from repro.core.syntax import (EPSILON, ExternalChoice, InternalChoice,
+                                   Mu, Seq, Var)
+
+    if isinstance(term, (type(EPSILON), Var)):
+        return term
+    if isinstance(term, Seq):
+        return Seq(_s4_dual(term.first), _s4_dual(term.second))
+    if isinstance(term, Mu):
+        return Mu(term.var, _s4_dual(term.body))
+    flipped = tuple(
+        (Receive(label.channel) if isinstance(label, Send)
+         else Send(label.channel), _s4_dual(cont))
+        for label, cont in term.branches)
+    if isinstance(term, ExternalChoice):
+        return InternalChoice(flipped)
+    return ExternalChoice(flipped)
+
+
+def run_s4(quick: bool, repeats: int) -> dict:
+    """Signature-indexed registry discovery vs the all-pairs baseline.
+
+    Populate a :class:`ContractRegistry` with a seeded contract family,
+    then answer a mixed batch of ``find_compliant`` /
+    ``find_substitutable`` queries two ways: through the indexed path
+    (signature-bucket pruning, fingerprint dedup, verdict memo) and
+    through the exhaustive per-entry product/preorder baseline.  Match
+    sets are asserted identical query by query; reported per size are
+    the pruning ratio (fraction of all-pairs product checks the index
+    avoided) and the lookup speedup.  The verdict memo is cleared before
+    every timed indexed pass, so the repeats time cold queries — the
+    memo only shows up *within* a pass, exactly as a fresh query batch
+    would experience it."""
+    import random as _random
+
+    from repro.registry import ContractRegistry
+
+    sizes = [200, 400] if quick else [1_000, 10_000]
+    per_kind = 3 if quick else 5
+    cases = []
+    for size in sizes:
+        rng = _random.Random(0x54000 + size)
+        terms = [_s4_contract(rng, rng.randint(1, 4))
+                 for _ in range(size)]
+        _clear_caches()
+        registry = ContractRegistry()
+        start = time.perf_counter()
+        for index, term in enumerate(terms):
+            registry.add(f"svc{index:05d}", term)
+        build_seconds = time.perf_counter() - start
+
+        # Query batch: signature-targeted positives (duals of members /
+        # member contracts) mixed with free random contracts.
+        queries = []
+        members = rng.sample(range(size), per_kind * 2)
+        for index in members[:per_kind]:
+            queries.append(("compliant", _s4_dual(terms[index])))
+        for index in members[per_kind:]:
+            queries.append(("substitutable", terms[index]))
+        for _ in range(per_kind - 1):
+            queries.append(("compliant",
+                            _s4_contract(rng, rng.randint(1, 3))))
+            queries.append(("substitutable",
+                            _s4_contract(rng, rng.randint(1, 3))))
+
+        def indexed_pass():
+            return [registry.find_compliant(term) if kind == "compliant"
+                    else registry.find_substitutable(term)
+                    for kind, term in queries]
+
+        def exhaustive_pass():
+            return [registry.exhaustive_compliant(term)
+                    if kind == "compliant"
+                    else registry.exhaustive_substitutable(term)
+                    for kind, term in queries]
+
+        indexed_seconds = float("inf")
+        for _ in range(repeats):
+            registry.clear_verdict_memo()
+            start = time.perf_counter()
+            results = indexed_pass()
+            indexed_seconds = min(indexed_seconds,
+                                  time.perf_counter() - start)
+        exhaustive_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            baselines = exhaustive_pass()
+            exhaustive_seconds = min(exhaustive_seconds,
+                                     time.perf_counter() - start)
+
+        for (kind, _), result, baseline in zip(queries, results,
+                                               baselines):
+            assert result.matches == baseline, \
+                (size, kind, result.matches[:5], baseline[:5])
+
+        product_checks = sum(r.product_checks for r in results)
+        exhaustive_checks = size * len(queries)
+        pruning = 1.0 - product_checks / exhaustive_checks
+        speedup = exhaustive_seconds / max(indexed_seconds, 1e-9)
+        stats = registry.stats()
+
+        sample = terms[:min(size, 200)]
+
+        def instrumented_run():
+            small = ContractRegistry()
+            for index, term in enumerate(sample):
+                small.add(f"svc{index:05d}", term)
+            small.find_compliant(_s4_dual(sample[0]))
+            small.find_substitutable(sample[0])
+
+        metrics = _instrumented(instrumented_run)
+        cases.append({
+            "entries": size,
+            "queries": len(queries),
+            "buckets": stats["buckets"],
+            "canonical_classes": stats["canonical_classes"],
+            "build_seconds": build_seconds,
+            "indexed_seconds": indexed_seconds,
+            "exhaustive_seconds": exhaustive_seconds,
+            "lookup_speedup": speedup,
+            "product_checks": product_checks,
+            "exhaustive_checks": exhaustive_checks,
+            "pruning_ratio": pruning,
+            "verdicts_identical": True,
+            "metrics": metrics,
+        })
+        print(f"S4 n={size}: build {build_seconds:7.2f} s  "
+              f"indexed {indexed_seconds * 1e3:8.2f} ms  "
+              f"exhaustive {exhaustive_seconds * 1e3:9.2f} ms  "
+              f"pruning {pruning:.3f}  {speedup:7.1f}x")
+    return {
+        "cases": cases,
+        "median_pruning_ratio": _median(
+            [c["pruning_ratio"] for c in cases]),
+        "median_lookup_speedup": _median(
+            [c["lookup_speedup"] for c in cases]),
+        "largest_case_pruning_ratio": cases[-1]["pruning_ratio"],
+        "verdicts_identical": True,
+    }
+
+
 # -- R1: recovery overhead ---------------------------------------------------
 
 def run_r1(quick: bool, repeats: int) -> dict:
@@ -597,8 +773,8 @@ def run_b1(quick: bool, repeats: int) -> dict:
     }
 
 
-SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "r1": run_r1,
-          "b1": run_b1}
+SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "s4": run_s4,
+          "r1": run_r1, "b1": run_b1}
 
 
 def next_bench_path(directory: Path) -> Path:
@@ -615,8 +791,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output-dir", type=Path, default=_ROOT,
                         help="directory for BENCH_<n>.json "
                              "(default: repository root)")
-    parser.add_argument("--suites", default="s1,s2,s3,r1,b1",
-                        help="comma-separated subset of s1,s2,s3,r1,b1")
+    parser.add_argument("--suites", default="s1,s2,s3,s4,r1,b1",
+                        help="comma-separated subset of "
+                             "s1,s2,s3,s4,r1,b1")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per measurement "
                              "(default: 1 with --quick, else 3)")
@@ -638,7 +815,7 @@ def main(argv: list[str] | None = None) -> int:
         suites[name] = SUITES[name](args.quick, repeats)
 
     report = {
-        "schema": "repro-bench.v3",
+        "schema": "repro-bench.v4",
         "quick": args.quick,
         "repeats": repeats,
         "started_at": started,
@@ -658,6 +835,12 @@ def main(argv: list[str] | None = None) -> int:
                 "s3", {}).get("certifier_median_compiled_speedup"),
             "s3_certifier_largest_case_speedup": suites.get(
                 "s3", {}).get("certifier_largest_case_speedup"),
+            "s4_median_pruning_ratio": suites.get(
+                "s4", {}).get("median_pruning_ratio"),
+            "s4_median_lookup_speedup": suites.get(
+                "s4", {}).get("median_lookup_speedup"),
+            "s4_registry_verdicts_identical": suites.get(
+                "s4", {}).get("verdicts_identical"),
             "verdicts_identical_across_engines": (
                 suites.get("s1", {}).get("verdicts_agree", None)
                 if "s1" in suites else None),

@@ -20,6 +20,9 @@ Commands::
     repro check NETWORK.{toml,sus}        # parse + well-formedness + lint
     repro lint NETWORK.sus [...]          # static diagnostics (SUS0xx)
     repro analyze NETWORK.{toml,sus}      # whole-network static certifier
+    repro canon NETWORK.{toml,sus}        # quotients, fingerprints, dups
+    repro registry NETWORK.{toml,sus} [--query-compliant NAME]
+                                          # signature-indexed discovery
     repro verify NETWORK.toml             # plan synthesis (Section 5)
     repro compliance NETWORK.toml A B     # is A's first request ⊢ B?
     repro simulate NETWORK.toml [--seed N] [--unmonitored] [--trace]
@@ -261,6 +264,116 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if analysis.ok else 1
 
 
+def _client_body(term: HistoryExpression) -> HistoryExpression:
+    """The contract a client declaration exposes: its first request body
+    (matching ``repro compliance``), or the term itself when there is no
+    request wrapper.  Service terms are canonicalised whole — projection
+    handles any nested requests/framings."""
+    requests = extract_requests(term)
+    return requests[0].body if requests else term
+
+
+def _cmd_canon(args: argparse.Namespace) -> int:
+    """Canonical analysis of every declared contract: quotient size,
+    fingerprint, signature, and duplicate (bisimilar) groups."""
+    import json as _json
+
+    from repro.canon import canonicalize
+    module = load_module(args.network)
+    contracts = []
+    by_key: dict[tuple, list[str]] = {}
+    for kind, table in (("client", module.clients),
+                        ("service", module.services)):
+        for name, term in table.items():
+            body = _client_body(term) if kind == "client" else term
+            form = canonicalize(body)
+            contracts.append((name, kind, form))
+            by_key.setdefault(form.key, []).append(name)
+    contracts.sort(key=lambda row: row[0])
+    duplicates = tuple(tuple(sorted(group))
+                       for group in sorted(by_key.values())
+                       if len(group) >= 2)
+    if args.format == "json":
+        print(_json.dumps({
+            "schema": "repro-canon.v1",
+            "module": Path(args.network).name,
+            "contracts": [
+                dict(name=name, kind=kind, **form.to_json())
+                for name, kind, form in contracts],
+            "duplicates": [list(group) for group in duplicates],
+        }, indent=2, sort_keys=True))
+        return 0
+    for name, kind, form in contracts:
+        shape = ("minimal" if form.n_blocks == form.n_source_states
+                 else f"reducible {form.n_source_states}→{form.n_blocks}")
+        print(f"{name} ({kind}): {form.n_blocks} block(s), {shape}, "
+              f"{form.signature.mode} mode, "
+              f"fingerprint {form.fingerprint[:16]}")
+    if duplicates:
+        for group in duplicates:
+            print(f"duplicate contracts (bisimilar): {', '.join(group)}")
+    else:
+        print("no duplicate contracts")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """Index the module's services in a signature-bucketed registry and
+    (optionally) answer discovery queries with pruning statistics.
+
+    Exits 1 when any requested query matches nothing; 0 otherwise.
+    """
+    import json as _json
+
+    from repro.registry import ContractRegistry
+    network = load_network(args.network)
+    registry = ContractRegistry()
+    for name, term in network.services.items():
+        registry.add(name, term)
+
+    def query_term(name: str) -> HistoryExpression:
+        term = network.term(name)
+        return _client_body(term) if name in network.clients else term
+
+    queries = []
+    if args.query_compliant:
+        queries.append((args.query_compliant,
+                        registry.find_compliant(
+                            query_term(args.query_compliant))))
+    if args.query_substitutable:
+        queries.append((args.query_substitutable,
+                        registry.find_substitutable(
+                            query_term(args.query_substitutable))))
+
+    if args.format == "json":
+        print(_json.dumps({
+            "schema": "repro-registry.v1",
+            "module": Path(args.network).name,
+            "registry": registry.stats(),
+            "entries": [
+                {"name": entry.name,
+                 "fingerprint": entry.fingerprint,
+                 "blocks": entry.canonical.n_blocks,
+                 "mode": entry.signature.mode}
+                for entry in registry.entries()],
+            "queries": [dict(name=name, **result.to_json())
+                        for name, result in queries],
+        }, indent=2, sort_keys=True))
+    else:
+        stats = registry.stats()
+        print(f"{stats['entries']} service(s) in {stats['buckets']} "
+              f"signature bucket(s), {stats['canonical_classes']} "
+              f"canonical class(es)")
+        for group in registry.duplicate_groups():
+            print(f"  duplicates: {', '.join(group)}")
+        for name, result in queries:
+            matched = ", ".join(result.matches) or "none"
+            print(f"{result.kind} with {name}: {matched} "
+                  f"({result.candidates}/{result.total} candidate(s) "
+                  f"after pruning, {result.product_checks} check(s))")
+    return 1 if any(not result.matches for _, result in queries) else 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     verdict = verify_network(network.clients, network.repository,
@@ -481,6 +594,33 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--engine", choices=engine_choices,
                          default="onthefly", help=engine_help)
     analyze.set_defaults(func=_cmd_analyze)
+
+    canon = sub.add_parser(
+        "canon", help="canonical contract analysis: bisimulation "
+                      "quotients, fingerprints, duplicate detection")
+    canon.add_argument("network")
+    canon.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="output format: human text (default) or "
+                            "deterministic JSON (repro-canon.v1)")
+    canon.set_defaults(func=_cmd_canon)
+
+    registry = sub.add_parser(
+        "registry", help="signature-indexed service registry: index the "
+                         "module's services and answer discovery queries")
+    registry.add_argument("network")
+    registry.add_argument("--query-compliant", default=None, metavar="NAME",
+                          help="find every registered service this "
+                               "client/contract is compliant with")
+    registry.add_argument("--query-substitutable", default=None,
+                          metavar="NAME",
+                          help="find every registered service refining "
+                               "this advertised contract")
+    registry.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="output format: human text (default) or "
+                               "deterministic JSON (repro-registry.v1)")
+    registry.set_defaults(func=_cmd_registry)
 
     verify = sub.add_parser("verify", help="synthesise valid plans")
     verify.add_argument("network")

@@ -13,6 +13,19 @@ The rule deliberately does *not* flag extra inputs on the service side:
 the repository is open-ended (services "are always available for
 joining sessions" with arbitrary future clients), so a service offering
 more inputs than today's clients use is idiomatic, not a defect.
+
+Two canonicalization advisories ride on the same analysis
+(:mod:`repro.canon`); both are informational — duplicates and redundant
+states are hygiene, not defects:
+
+* ``SUS050 duplicate-contract`` — two declared services are canonically
+  bisimilar (identical canonical forms, compared exactly, never by
+  fingerprint alone): every client compliant with one is compliant with
+  the other, so the later declaration is a duplicate of the earlier
+  twin.
+* ``SUS051 non-minimal-contract`` — a service's bisimulation quotient
+  is strictly smaller than its LTS: the contract as written carries
+  redundant (bisimilar) states.
 """
 
 from __future__ import annotations
@@ -44,3 +57,60 @@ def dead_external_branch(ctx: LintContext) -> Iterator[Diagnostic]:
                 declaration=decl.name,
                 hint="the branch can never be taken — remove it, or "
                      f"publish a service that outputs !{channel}")
+
+
+def _service_canonical_forms(ctx: LintContext):
+    """(declaration, canonical form) per analysable service, in
+    declaration order; services whose canonicalization fails (state
+    blowup, malformed term) are silently skipped — advisory rules must
+    not turn an analysis limit into a finding."""
+    from repro.canon import canonicalize
+    from repro.core.errors import ReproError
+    forms = []
+    for decl, term in ctx.terms():
+        if not decl.is_service:
+            continue
+        try:
+            forms.append((decl, canonicalize(term)))
+        except (ReproError, TypeError, RecursionError):
+            continue
+    return forms
+
+
+@_REGISTRY.rule("SUS050", "duplicate-contract", Severity.INFO,
+                "two declared services are canonically bisimilar — the "
+                "later one duplicates the earlier twin")
+def duplicate_contract(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS050")
+    first_with_key: dict[tuple, str] = {}
+    for decl, form in _service_canonical_forms(ctx):
+        twin = first_with_key.get(form.key)
+        if twin is None:
+            first_with_key[form.key] = decl.name
+            continue
+        yield rule.diagnostic(
+            f"service {decl.name!r} is canonically bisimilar to "
+            f"{twin!r}: every client compliant with one is compliant "
+            f"with the other",
+            span=decl.span,
+            declaration=decl.name,
+            hint=f"the contracts are interchangeable — reuse {twin!r} "
+                 f"(or make the behavioural difference explicit)")
+
+
+@_REGISTRY.rule("SUS051", "non-minimal-contract", Severity.INFO,
+                "a service contract with redundant (bisimilar) states: "
+                "its quotient is strictly smaller than its LTS")
+def non_minimal_contract(ctx: LintContext) -> Iterator[Diagnostic]:
+    rule = _REGISTRY.get("SUS051")
+    for decl, form in _service_canonical_forms(ctx):
+        if form.n_blocks >= form.n_source_states:
+            continue
+        yield rule.diagnostic(
+            f"service {decl.name!r} is non-minimal: {form.n_source_states} "
+            f"reachable state(s) collapse to {form.n_blocks} under "
+            f"bisimulation",
+            span=decl.span,
+            declaration=decl.name,
+            hint="equivalent branches or unrollings can be merged "
+                 "without changing any compliance verdict")

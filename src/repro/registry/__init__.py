@@ -1,0 +1,24 @@
+"""The signature-indexed contract registry.
+
+:class:`ContractRegistry` stores named service contracts bucketed by
+their canonical ready-set :class:`~repro.canon.fingerprint.Signature`
+and answers the two discovery queries — :meth:`find_compliant` and
+:meth:`find_substitutable` — through three pruning layers (signature
+buckets, fingerprint dedup, fingerprint-pair verdict memos) instead of
+an all-pairs product sweep.  See :mod:`repro.registry.core` for the
+design and :mod:`repro.registry.store` for the persistence format.
+"""
+
+from __future__ import annotations
+
+from repro.registry.core import (MAX_PRODUCT_STATES, ContractRegistry,
+                                 RegistryEntry, RegistryQuery)
+from repro.registry.store import (STORE_SCHEMA, load_registry,
+                                  registry_from_json, registry_to_json,
+                                  save_registry)
+
+__all__ = [
+    "MAX_PRODUCT_STATES", "ContractRegistry", "RegistryEntry",
+    "RegistryQuery", "STORE_SCHEMA", "load_registry",
+    "registry_from_json", "registry_to_json", "save_registry",
+]

@@ -1,0 +1,70 @@
+"""JSON persistence for the contract registry.
+
+The on-disk format (``repro-registry-store.v1``) stores each entry's
+name, its projected contract in the surface syntax of
+:mod:`repro.lang.parser`, and its canonical fingerprint.  Contracts are
+re-canonicalised on load and the stored fingerprint is checked against
+the recomputed one — a mismatch means the store was edited by hand or
+produced by an incompatible fingerprint scheme, and loading fails
+loudly rather than serving stale discovery answers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.registry.core import ContractRegistry
+
+STORE_SCHEMA = "repro-registry-store.v1"
+
+
+def registry_to_json(registry: ContractRegistry) -> dict:
+    """The persistable JSON document for *registry* (sorted by name)."""
+    return {
+        "schema": STORE_SCHEMA,
+        "entries": [
+            {"name": entry.name,
+             "contract": pretty(entry.term),
+             "fingerprint": entry.fingerprint}
+            for entry in registry.entries()],
+    }
+
+
+def registry_from_json(document: dict) -> ContractRegistry:
+    """Rebuild a registry from a :func:`registry_to_json` document."""
+    schema = document.get("schema")
+    if schema != STORE_SCHEMA:
+        raise ReproError(f"unsupported registry store schema {schema!r} "
+                         f"(expected {STORE_SCHEMA!r})")
+    registry = ContractRegistry()
+    for record in document.get("entries", ()):
+        name = record["name"]
+        entry = registry.add(name, parse(record["contract"]))
+        stored = record.get("fingerprint")
+        if stored is not None and stored != entry.fingerprint:
+            raise ReproError(
+                f"registry entry {name!r} fingerprint mismatch: stored "
+                f"{stored[:16]}…, recomputed {entry.fingerprint[:16]}…")
+    return registry
+
+
+def save_registry(registry: ContractRegistry, path: str | Path) -> None:
+    """Write *registry* to *path* as deterministic, sorted JSON."""
+    Path(path).write_text(
+        json.dumps(registry_to_json(registry), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")
+
+
+def load_registry(path: str | Path) -> ContractRegistry:
+    """Load a registry persisted by :func:`save_registry`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise ReproError(f"registry store not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"registry store is not valid JSON: {exc}") from exc
+    return registry_from_json(document)

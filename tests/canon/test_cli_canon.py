@@ -1,0 +1,73 @@
+"""End-to-end tests for ``repro canon`` and ``repro registry``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+HOTEL = str(EXAMPLES / "hotel_booking.sus")
+
+
+class TestCanonCommand:
+    def test_text_output_lists_every_contract(self, capsys):
+        assert main(["canon", HOTEL]) == 0
+        out = capsys.readouterr().out
+        for name in ("lbr", "lc1", "lc2", "ls1", "ls2", "ls3", "ls4"):
+            assert name in out
+        assert "duplicate contracts (bisimilar): ls1, ls3, ls4" in out
+
+    def test_json_is_deterministic_and_schema_tagged(self, capsys):
+        assert main(["canon", HOTEL, "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["canon", HOTEL, "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema"] == "repro-canon.v1"
+        by_name = {row["name"]: row for row in payload["contracts"]}
+        assert by_name["ls1"]["fingerprint"] == \
+            by_name["ls3"]["fingerprint"]
+        assert by_name["ls1"]["minimal"] is True
+        assert ["ls1", "ls3", "ls4"] in payload["duplicates"]
+        assert by_name["lbr"]["signature"]["mode"] == "input"
+
+    def test_unknown_file_exits_2(self, capsys):
+        assert main(["canon", "no_such_module.sus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRegistryCommand:
+    def test_text_summary_and_queries(self, capsys):
+        assert main(["registry", HOTEL, "--query-compliant", "lc1",
+                     "--query-substitutable", "ls1"]) == 0
+        out = capsys.readouterr().out
+        assert "5 service(s) in 3 signature bucket(s)" in out
+        assert "compliant with lc1: lbr" in out
+        assert "substitutable with ls1: ls1, ls3, ls4" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["registry", HOTEL, "--query-compliant", "lc1",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-registry.v1"
+        assert payload["registry"]["entries"] == 5
+        assert payload["registry"]["canonical_classes"] == 3
+        (query,) = payload["queries"]
+        assert query["kind"] == "compliant"
+        assert query["matches"] == ["lbr"]
+        assert query["product_checks"] <= query["candidates"]
+
+    def test_empty_query_exits_1(self, tmp_path, capsys):
+        module = tmp_path / "mismatch.sus"
+        module.write_text(
+            "client c = open 1 { !Nothing }\n"
+            "service s = ?Else . !Reply\n", encoding="utf-8")
+        assert main(["registry", str(module),
+                     "--query-compliant", "c"]) == 1
+        assert "none" in capsys.readouterr().out
+
+    def test_unknown_query_name_exits_2(self, capsys):
+        assert main(["registry", HOTEL,
+                     "--query-compliant", "ghost"]) == 2
+        assert "error:" in capsys.readouterr().err

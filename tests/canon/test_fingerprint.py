@@ -1,0 +1,89 @@
+"""Unit tests for canonical forms, fingerprints and signatures."""
+
+from pathlib import Path
+
+from repro.canon import (CanonicalForm, Signature, canonicalize,
+                         canonically_equal, fingerprint_of, signature_of)
+from repro.cli import load_module
+from repro.contracts.contract import clear_contract_caches
+from repro.core.syntax import (EPSILON, Var, external, internal, mu,
+                               receive, send, seq)
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+ROLLED = mu("h", external(("Ping", internal(("Pong", Var("h"))))))
+UNROLLED = external(("Ping", internal(("Pong", ROLLED))))
+
+
+class TestFingerprints:
+    def test_bisimilar_terms_share_a_fingerprint(self):
+        assert fingerprint_of(ROLLED) == fingerprint_of(UNROLLED)
+        assert canonically_equal(ROLLED, UNROLLED)
+
+    def test_distinct_contracts_differ(self):
+        assert fingerprint_of(send("a")) != fingerprint_of(send("b"))
+        assert fingerprint_of(send("a")) != fingerprint_of(receive("a"))
+        assert not canonically_equal(send("a"), receive("a"))
+
+    def test_canonical_form_shape(self):
+        form = canonicalize(UNROLLED)
+        assert isinstance(form, CanonicalForm)
+        assert form.n_blocks == 2
+        assert form.n_source_states == 3
+        assert len(form.table) == form.n_blocks
+        assert 0 <= form.initial < form.n_blocks
+        assert form.key == (form.initial, form.table)
+        payload = form.to_json()
+        assert payload["blocks"] == 2 and not payload["minimal"]
+
+    def test_fingerprint_is_interning_order_invariant(self):
+        """The load-bearing invariance: fingerprints hash label content,
+        never process-global label ids, so recomputing after a cache
+        flush under a different interning history changes nothing."""
+        term = external(("zeta", internal(("alpha", EPSILON))),
+                        ("beta", EPSILON))
+        clear_contract_caches()
+        fresh = fingerprint_of(term)
+        clear_contract_caches()
+        # Skew the label table first: intern unrelated channels so every
+        # label id the term gets differs from the first run.
+        for warm in (send("w1"), send("w2"), receive("w3")):
+            fingerprint_of(warm)
+        assert fingerprint_of(term) == fresh
+
+    def test_hotel_duplicates_share_fingerprints(self):
+        module = load_module(str(EXAMPLES / "hotel_booking.sus"))
+        services = module.services
+        assert canonically_equal(services["ls1"], services["ls3"])
+        assert canonically_equal(services["ls1"], services["ls4"])
+        assert not canonically_equal(services["ls1"], services["ls2"])
+
+
+class TestSignatures:
+    def test_output_mode(self):
+        signature = signature_of(internal(("b", receive("x")),
+                                          ("a", EPSILON)))
+        assert isinstance(signature, Signature)
+        assert signature.mode == "output"
+        assert signature.initial_outputs == ("a", "b")
+        assert signature.initial_inputs == ()
+        assert not signature.initial_terminated
+        assert signature.alphabet_inputs == ("x",)
+
+    def test_input_mode(self):
+        signature = signature_of(external(("a", EPSILON), ("b", EPSILON)))
+        assert signature.mode == "input"
+        assert signature.initial_inputs == ("a", "b")
+        assert signature.initial_outputs == ()
+
+    def test_quiescent_mode(self):
+        signature = signature_of(EPSILON)
+        assert signature.mode == "quiescent"
+        assert signature.initial_terminated
+
+    def test_alphabet_covers_every_reachable_state(self):
+        signature = signature_of(seq(send("a"), receive("b")))
+        assert signature.alphabet_outputs == ("a",)
+        assert signature.alphabet_inputs == ("b",)
+        assert signature.initial_outputs == ("a",)
+        assert signature.initial_inputs == ()

@@ -40,6 +40,8 @@ class TestFixtures:
         "vacuous_policy.sus": "SUS011",
         "dead_branch.sus": "SUS020",
         "doomed_request.sus": "SUS030",
+        "duplicate_contract.sus": "SUS050",
+        "non_minimal_contract.sus": "SUS051",
     }
 
     #: Codes diagnosing the same root defect from another layer (the
@@ -204,6 +206,61 @@ class TestContractRules:
         service s = ?Req ; (!Ok ++ !No)
         """
         assert "SUS020" not in codes(lint_source(source))
+
+
+class TestCanonRules:
+    def test_duplicate_contract_sus050(self):
+        diagnostics = lint_file(FIXTURES / "duplicate_contract.sus",
+                                select=["SUS050"])
+        (diagnostic,) = diagnostics
+        assert diagnostic.severity is Severity.INFO
+        # The later declaration is reported; the hint names the twin.
+        assert diagnostic.declaration == "twin"
+        assert "'s1'" in diagnostic.message
+        assert "'s1'" in diagnostic.hint
+
+    def test_distinct_contracts_stay_silent(self):
+        source = """
+        client c = open 1 { !Ping }
+        service s1 = ?Ping . !Pong
+        service s2 = ?Ping . (!Pong ++ !Nack)
+        """
+        assert "SUS050" not in codes(lint_source(source))
+
+    def test_duplicate_clients_are_not_flagged(self):
+        # SUS050 is about the published repository; identical clients
+        # are unremarkable.
+        source = """
+        client c1 = open 1 { !Ping }
+        client c2 = open 2 { !Ping }
+        service s = ?Ping
+        """
+        assert "SUS050" not in codes(lint_source(source))
+
+    def test_non_minimal_contract_sus051(self):
+        diagnostics = lint_file(FIXTURES / "non_minimal_contract.sus",
+                                select=["SUS051"])
+        (diagnostic,) = diagnostics
+        assert diagnostic.severity is Severity.INFO
+        assert diagnostic.declaration == "fat"
+        assert "3 reachable state(s) collapse to 2" in diagnostic.message
+
+    def test_minimal_contract_stays_silent(self):
+        source = """
+        client c = open 1 { mu k { !Ping . ?Pong . k } }
+        service s = mu h { ?Ping . !Pong . h }
+        """
+        assert "SUS051" not in codes(lint_source(source))
+
+    def test_canon_rules_on_hotel_example(self):
+        # The Figure-2 repository publishes ls1/ls3/ls4 with identical
+        # projections; the two later ones are flagged as duplicates and
+        # every contract is already minimal.
+        diagnostics = lint_file(
+            Path(__file__).parents[2] / "examples" / "hotel_booking.sus",
+            select=["SUS050", "SUS051"])
+        assert [(d.code, d.declaration) for d in diagnostics] == [
+            ("SUS050", "ls3"), ("SUS050", "ls4")]
 
 
 class TestNetworkRules:

@@ -1,0 +1,204 @@
+"""Unit tests for the signature-indexed contract registry."""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cli import load_module
+from repro.core.actions import Receive, Send
+from repro.core.errors import ReproError
+from repro.core.syntax import (EPSILON, ExternalChoice, InternalChoice, Mu,
+                               Seq, Var, external, internal, mu, receive,
+                               send)
+from repro.registry import (ContractRegistry, load_registry,
+                            registry_from_json, registry_to_json,
+                            save_registry)
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+CHANNELS = "abcdef"
+
+
+def random_contract(rng, depth):
+    if depth == 0:
+        return EPSILON
+    kind = rng.randrange(4)
+    chans = rng.sample(CHANNELS, rng.randint(1, 3))
+    if kind == 0:
+        return internal(*((c, random_contract(rng, depth - 1))
+                          for c in chans))
+    if kind == 1:
+        return external(*((c, random_contract(rng, depth - 1))
+                          for c in chans))
+    if kind == 2:
+        return mu("h", internal((chans[0],
+                                 random_contract(rng, depth - 1))))
+    return Seq(random_contract(rng, depth - 1),
+               random_contract(rng, depth - 1))
+
+
+def dual(term):
+    if isinstance(term, (type(EPSILON), Var)):
+        return term
+    if isinstance(term, Seq):
+        return Seq(dual(term.first), dual(term.second))
+    if isinstance(term, Mu):
+        return Mu(term.var, dual(term.body))
+    flipped = tuple(
+        (Receive(label.channel) if isinstance(label, Send)
+         else Send(label.channel), dual(cont))
+        for label, cont in term.branches)
+    if isinstance(term, ExternalChoice):
+        return InternalChoice(flipped)
+    return ExternalChoice(flipped)
+
+
+@pytest.fixture()
+def hotel_registry():
+    module = load_module(str(EXAMPLES / "hotel_booking.sus"))
+    registry = ContractRegistry()
+    for name, term in module.services.items():
+        registry.add(name, term)
+    return registry
+
+
+class TestPopulation:
+    def test_add_and_lookup(self, hotel_registry):
+        assert len(hotel_registry) == 5
+        assert "ls1" in hotel_registry
+        entry = hotel_registry.entry("ls1")
+        assert entry.fingerprint == hotel_registry.entry("ls3").fingerprint
+        with pytest.raises(ReproError):
+            hotel_registry.entry("nope")
+
+    def test_duplicate_groups(self, hotel_registry):
+        assert hotel_registry.duplicate_groups() == (("ls1", "ls3", "ls4"),)
+
+    def test_stats_shape(self, hotel_registry):
+        stats = hotel_registry.stats()
+        assert stats["entries"] == 5
+        assert stats["canonical_classes"] == 3
+        assert stats["duplicate_groups"] == 1
+        assert 0 < stats["dedup_ratio"] < 1
+
+    def test_update_moves_buckets_and_remove_drops(self, hotel_registry):
+        before = hotel_registry.bucket_count
+        hotel_registry.update("ls2", hotel_registry.entry("ls1").term)
+        assert hotel_registry.entry("ls2").fingerprint == \
+            hotel_registry.entry("ls1").fingerprint
+        assert hotel_registry.bucket_count <= before
+        hotel_registry.remove("ls2")
+        assert "ls2" not in hotel_registry
+        with pytest.raises(ReproError):
+            hotel_registry.remove("ls2")
+
+
+class TestQueries:
+    def test_find_compliant_on_hotel(self, hotel_registry):
+        client = internal(("IdC", external(("Bok", EPSILON),
+                                           ("UnA", EPSILON))))
+        result = hotel_registry.find_compliant(client)
+        # ls2 may emit !Del, which this client never accepts.
+        assert result.matches == ("ls1", "ls3", "ls4")
+        # ls1/ls3/ls4 share one fingerprint: at most two real checks.
+        assert result.product_checks <= 2
+        assert result.dedup_hits >= 2
+
+    def test_find_substitutable_on_hotel(self, hotel_registry):
+        ls1 = hotel_registry.entry("ls1").term
+        result = hotel_registry.find_substitutable(ls1)
+        assert set(result.matches) >= {"ls1", "ls3", "ls4"}
+        assert result.pruned >= 1  # lbr's bucket can't match ?IdC
+
+    def test_verdict_memo_suppresses_repeat_checks(self, hotel_registry):
+        client = internal(("IdC", external(("Bok", EPSILON),
+                                           ("UnA", EPSILON))))
+        first = hotel_registry.find_compliant(client)
+        second = hotel_registry.find_compliant(client)
+        assert second.matches == first.matches
+        assert second.product_checks == 0
+
+    def test_update_changes_answers(self, hotel_registry):
+        client = internal(("IdC", external(("Bok", EPSILON),
+                                           ("UnA", EPSILON))))
+        # ls2's !Del branch makes it non-compliant with this client;
+        # re-registering it under ls1's contract flips the answer.
+        assert "ls2" not in hotel_registry.find_compliant(client).matches
+        hotel_registry.update("ls2", hotel_registry.entry("ls1").term)
+        result = hotel_registry.find_compliant(client)
+        assert result.matches == ("ls1", "ls2", "ls3", "ls4")
+        # The updated entry joins ls1's fingerprint group: no fresh
+        # product check was needed to recertify it.
+        assert result.product_checks == 0
+
+    def test_queries_match_exhaustive_baseline(self):
+        rng = random.Random(0x5E77)
+        registry = ContractRegistry()
+        members = []
+        for index in range(120):
+            term = random_contract(rng, rng.randint(1, 4))
+            registry.add(f"svc{index:03d}", term)
+            members.append(term)
+        for round_no in range(12):
+            query = (dual(members[rng.randrange(len(members))])
+                     if round_no % 2 == 0
+                     else random_contract(rng, rng.randint(1, 3)))
+            fast = registry.find_compliant(query)
+            assert fast.matches == registry.exhaustive_compliant(query)
+            advert = (members[rng.randrange(len(members))]
+                      if round_no % 2 == 0
+                      else random_contract(rng, rng.randint(1, 3)))
+            sub = registry.find_substitutable(advert)
+            assert sub.matches == registry.exhaustive_substitutable(advert)
+
+    def test_pruning_actually_prunes(self):
+        rng = random.Random(0xBEEF)
+        registry = ContractRegistry()
+        for index in range(150):
+            registry.add(f"svc{index:03d}",
+                         random_contract(rng, rng.randint(1, 4)))
+        query = dual(registry.entry("svc000").term)
+        result = registry.find_compliant(query)
+        assert result.total == 150
+        assert result.product_checks < result.total
+        assert result.pruning_ratio > 0.5
+        assert result.to_json()["pruning_ratio"] == result.pruning_ratio
+
+
+class TestPersistence:
+    def test_round_trip(self, hotel_registry, tmp_path):
+        path = tmp_path / "registry.json"
+        save_registry(hotel_registry, path)
+        loaded = load_registry(path)
+        assert loaded.names() == hotel_registry.names()
+        for name in loaded.names():
+            assert loaded.entry(name).fingerprint == \
+                hotel_registry.entry(name).fingerprint
+        client = internal(("IdC", external(("Bok", EPSILON),
+                                           ("UnA", EPSILON))))
+        assert loaded.find_compliant(client).matches == \
+            hotel_registry.find_compliant(client).matches
+
+    def test_round_trip_survives_cache_flush(self, hotel_registry,
+                                             tmp_path):
+        from repro.contracts.contract import clear_contract_caches
+        path = tmp_path / "registry.json"
+        save_registry(hotel_registry, path)
+        clear_contract_caches()
+        loaded = load_registry(path)  # fingerprints recomputed + checked
+        assert loaded.duplicate_groups() == (("ls1", "ls3", "ls4"),)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ReproError, match="schema"):
+            registry_from_json({"schema": "nope.v9", "entries": []})
+
+    def test_fingerprint_mismatch_rejected(self, hotel_registry):
+        document = registry_to_json(hotel_registry)
+        document["entries"][0]["fingerprint"] = "0" * 64
+        with pytest.raises(ReproError, match="fingerprint mismatch"):
+            registry_from_json(document)
+
+    def test_missing_file_is_a_repro_error(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_registry(tmp_path / "ghost.json")
