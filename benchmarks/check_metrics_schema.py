@@ -6,13 +6,17 @@ a benchmark file whose cases stopped carrying the instrumentation
 snapshot (counters, cache hit/miss stats, explored-state counts) fails
 the build, so the observability layer cannot silently rot.
 
-Accepts every historical schema (``repro-bench.v1`` through ``v4``);
+Accepts every historical schema (``repro-bench.v1`` through ``v5``);
 on v3+ files it additionally requires the per-engine warm timings,
 compile-time split and verdict-agreement flags on S1 cases, and the
 certifier cases (with the compiled term-table cache in their snapshot)
-on S3.  On v4 files carrying an S4 suite, every registry case must
+on S3.  On v4+ files carrying an S4 suite, every registry case must
 report its pruning ratio, lookup speedup and verdict-identity flag,
-with ``registry.*`` counters in the instrumentation snapshot.
+with ``registry.*`` counters in the instrumentation snapshot.  On v5
+files carrying an R2 suite, every case must report both recovery modes
+(rollback and replan) with their recovered ratios, and the
+instrumentation snapshot must record the ``resilience.rollbacks``
+counter — proof the rollback path really ran.
 
 Usage::
 
@@ -51,7 +55,7 @@ B1_REQUIRED_COUNTERS = ("staticcheck.explored_states",)
 B1_REQUIRED_CACHES = ("staticcheck.validity",)
 
 ACCEPTED_SCHEMAS = ("repro-bench.v1", "repro-bench.v2", "repro-bench.v3",
-                    "repro-bench.v4")
+                    "repro-bench.v4", "repro-bench.v5")
 
 #: Engines whose warm solve time every v3 S1 case must report.
 V3_S1_ENGINES = ("onthefly", "eager", "gfp", "compiled")
@@ -77,6 +81,19 @@ V4_S4_CASE_KEYS = ("entries", "build_seconds", "indexed_seconds",
 #: Counter prefixes the v4 S4 instrumentation snapshot must include:
 #: the registry path really ran, with its query counters recorded.
 V4_S4_COUNTER_PREFIXES = ("registry.adds", "registry.queries")
+
+#: Keys every v5 R2 case must carry.
+V5_R2_CASE_KEYS = ("scenario", "seeds", "modes", "verdicts_agree")
+
+#: Keys both recovery modes of a v5 R2 case must report.
+V5_R2_MODE_KEYS = ("seconds", "runs", "completed", "disturbed",
+                   "recovered", "recovered_ratio",
+                   "median_recovery_steps", "median_recovery_ticks",
+                   "rollbacks", "retries", "replans")
+
+#: Counter prefix the v5 R2 instrumentation snapshot must include: the
+#: checkpoint-rollback recovery path really ran.
+V5_R2_COUNTER_PREFIX = "resilience.rollbacks"
 
 
 def _check_snapshot(metrics: dict, where: str, errors: list[str],
@@ -136,8 +153,9 @@ def check_file(path: Path) -> list[str]:
         # v1 predates the instrumentation snapshots: schema recognised,
         # nothing further to require.
         return errors
-    v3 = schema in ("repro-bench.v3", "repro-bench.v4")
-    v4 = schema == "repro-bench.v4"
+    v3 = schema in ("repro-bench.v3", "repro-bench.v4", "repro-bench.v5")
+    v4 = schema in ("repro-bench.v4", "repro-bench.v5")
+    v5 = schema == "repro-bench.v5"
     suites = report.get("suites", {})
     for case_index, case in enumerate(suites.get("s1", {}).get("cases",
                                                                ())):
@@ -209,6 +227,37 @@ def check_file(path: Path) -> list[str]:
             for prefix in V4_S4_COUNTER_PREFIXES:
                 if not any(key.startswith(prefix) for key in counters):
                     errors.append(f"{where}: counter {prefix!r}* missing")
+    if v5:
+        for case_index, case in enumerate(suites.get("r2", {}).get(
+                "cases", ())):
+            where = f"{path}: r2.cases[{case_index}]"
+            for key in V5_R2_CASE_KEYS:
+                if key not in case:
+                    errors.append(f"{where}: key {key!r} missing (v5)")
+            if case.get("verdicts_agree") is not True:
+                errors.append(f"{where}: verdicts_agree is not true")
+            modes = case.get("modes")
+            if not isinstance(modes, dict):
+                errors.append(f"{where}: modes object missing")
+            else:
+                for mode in ("rollback", "replan"):
+                    entry = modes.get(mode)
+                    if not isinstance(entry, dict):
+                        errors.append(f"{where}: mode {mode!r} missing")
+                        continue
+                    for key in V5_R2_MODE_KEYS:
+                        if key not in entry:
+                            errors.append(f"{where}: mode {mode!r} "
+                                          f"lacks {key!r}")
+            metrics = case.get("metrics")
+            if not isinstance(metrics, dict):
+                errors.append(f"{where}: metrics object missing")
+                continue
+            counters = metrics.get("counters", {})
+            if not any(key.startswith(V5_R2_COUNTER_PREFIX)
+                       for key in counters):
+                errors.append(f"{where}: counter "
+                              f"{V5_R2_COUNTER_PREFIX!r}* missing")
     for case_index, case in enumerate(suites.get("b1", {}).get("cases",
                                                                ())):
         where = f"{path}: b1.cases[{case_index}]"

@@ -89,6 +89,12 @@ INDICATORS = (
      lambda s: _suite_key(s, "median_lookup_speedup")),
     ("r1", "fault_free_overhead", "lower",
      lambda s: _suite_key(s, "fault_free_overhead")),
+    ("r2", "rollback_recovered_ratio", "higher",
+     lambda s: _suite_key(s, "rollback_recovered_ratio")),
+    ("r2", "median_steps_saving", "higher",
+     lambda s: _suite_key(s, "median_steps_saving")),
+    ("r2", "median_ticks_saving", "higher",
+     lambda s: _suite_key(s, "median_ticks_saving")),
     ("b1", "median_amortisation", "higher",
      lambda s: _case_key_median(s, "amortisation")),
 )

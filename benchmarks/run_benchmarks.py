@@ -29,6 +29,12 @@ process and records their ratio:
 * **R1** — resilience: the bare simulator vs the fault-free supervised
   run (the supervision tax), and the supervised run under a transient
   drop (retry) and a crash with an alternative (failover);
+* **R2** — reversible recovery: checkpoint rollback vs
+  replan-from-scratch on branchy workloads under permanent drops
+  (recovered-session ratio, median steps/ticks to recover — all on the
+  simulated clock), plus a seeded chaos comparison with rollback on vs
+  off, compliance verdicts asserted identical across the four ordinary
+  engines and both reversible deciders;
 * **B1** — static certification: one ``certify_validity`` pass over the
   ⟨residual, monitor⟩ product vs K seeded monitor-checked random runs,
   asserting the verdicts agree and rejection witnesses replay.
@@ -36,7 +42,7 @@ process and records their ratio:
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--quick]
-        [--output-dir DIR] [--suites s1,s2,s3,s4,r1,b1] [--repeats N]
+        [--output-dir DIR] [--suites s1,s2,s3,s4,r1,r2,b1] [--repeats N]
 
 The output file is ``BENCH_<n>.json`` with the smallest unused ``n`` in
 the output directory (repository root by default); see DESIGN.md
@@ -685,6 +691,176 @@ def run_r1(quick: bool, repeats: int) -> dict:
     }
 
 
+# -- R2: reversible recovery vs replan-from-scratch --------------------------
+
+def run_r2(quick: bool, repeats: int) -> dict:
+    """Checkpoint rollback vs compensation + failover re-planning.
+
+    Two crafted fault families over the branchy workload (a linear
+    preamble, then an internal choice with two service branches, one of
+    which a permanent ``drop`` withholds):
+
+    * **single_worker_drop** — one worker only: rollback rewinds to the
+      choice point and takes the live branch; the replan ladder has no
+      alternative location and gives up, so rollback strictly wins the
+      recovered-session ratio;
+    * **failover_pair_drop** — a second worker exists: both ladders
+      recover, but rollback rewinds past one wasted step where failover
+      repeats the whole preamble from scratch, so rollback strictly
+      wins steps-to-recover (and simulated-clock ticks).
+
+    Plus a *sampled* chaos comparison (seeded ``drop`` plans over a
+    3-round branchy chain) run once with rollback on and once off, the
+    chaos invariant asserted in both modes.  All counts and tick totals
+    are on the simulated clock — deterministic and machine-free; the
+    wall-clock seconds per mode ride along as context.  Before any
+    trial runs, the branchy pair's verdict is asserted identical across
+    the four ordinary compliance engines and across the interpreted and
+    compiled reversible deciders (compliance implies reversible
+    compliance, so all six must say yes).
+    """
+    from repro.core.plans import Plan, PlanVector
+    from repro.core.reversible import check_reversible
+    from repro.network.repository import Repository
+    from repro.resilience import Fault, FaultPlan, Supervisor, run_chaos
+
+    from workloads import (branchy_chain, branchy_client, branchy_session,
+                           branchy_worker)
+
+    # -- verdict agreement: ordinary engines + reversible deciders ----------
+    body, worker = branchy_session(), branchy_worker()
+    ordinary = {engine: check_compliance(body, worker, engine=engine)
+                for engine in S1_ENGINES}
+    verdicts = {engine: result.compliant
+                for engine, result in ordinary.items()}
+    assert set(verdicts.values()) == {True}, verdicts
+    interpreted = check_reversible(body, worker, engine="interpreted")
+    compiled_rev = check_reversible(body, worker, engine="compiled")
+    assert interpreted == compiled_rev, "reversible deciders disagree"
+    assert interpreted.compliant, \
+        "compliance must imply reversible compliance"
+
+    clients = {"lc": branchy_client()}
+    repo_single = Repository({"wa": branchy_worker()})
+    repo_pair = Repository({"wa": branchy_worker(),
+                            "wb": branchy_worker()})
+    plans = PlanVector.of(Plan.of({"r": "wa"}))
+    fault_plan = FaultPlan((Fault("drop", location="wa",
+                                  channel="ok_a"),))
+
+    def supervised(repo, seed, rollback):
+        return Supervisor(clients, plans, repo, fault_plan=fault_plan,
+                          rollback=rollback, seed=seed).run()
+
+    seeds = range(4) if quick else range(12)
+    cases = []
+    for scenario, repo in (("single_worker_drop", repo_single),
+                           ("failover_pair_drop", repo_pair)):
+        modes = {}
+        rollback_seed = None
+        for mode, enabled in (("rollback", True), ("replan", False)):
+            seconds = _measure(
+                lambda: [supervised(repo, seed, enabled)
+                         for seed in seeds], repeats)
+            results = [supervised(repo, seed, enabled) for seed in seeds]
+            disturbed = [r for r in results if r.episodes]
+            recovered = [r for r in disturbed if r.completed]
+            if mode == "rollback" and recovered:
+                rollback_seed = next(seed for seed, r in zip(seeds,
+                                                             results)
+                                     if r.episodes and r.completed)
+            modes[mode] = {
+                "seconds": seconds,
+                "runs": len(results),
+                "completed": sum(1 for r in results if r.completed),
+                "disturbed": len(disturbed),
+                "recovered": len(recovered),
+                "recovered_ratio": (len(recovered) / len(disturbed)
+                                    if disturbed else None),
+                "median_recovery_steps": (_median(
+                    [float(r.steps) for r in recovered])
+                    if recovered else None),
+                "median_recovery_ticks": (_median(
+                    [float(r.clock) for r in recovered])
+                    if recovered else None),
+                "rollbacks": sum(r.rollbacks for r in results),
+                "retries": sum(r.retries for r in results),
+                "replans": sum(r.replans for r in results),
+            }
+        assert rollback_seed is not None, scenario
+        metrics = _instrumented(
+            lambda: supervised(repo, rollback_seed, True))
+        cases.append({
+            "scenario": scenario,
+            "seeds": len(list(seeds)),
+            "modes": modes,
+            "verdicts_agree": True,
+            "metrics": metrics,
+        })
+        rb, rp = modes["rollback"], modes["replan"]
+        print(f"R2 {scenario:20s}: rollback {rb['recovered']}/"
+              f"{rb['disturbed']} recovered "
+              f"({rb['median_recovery_steps'] or 0:.0f} st med)  "
+              f"replan {rp['recovered']}/{rp['disturbed']} "
+              f"({rp['median_recovery_steps'] or 0:.0f} st med)  "
+              f"[{rb['seconds'] * 1e3:.1f} / {rp['seconds'] * 1e3:.1f} ms]")
+
+    # -- sampled chaos: same seeds, rollback on vs off ----------------------
+    chain_clients = {"lc": branchy_chain(3)}
+    trials = 6 if quick else 16
+    chaos = {}
+    for mode, enabled in (("rollback", True), ("replan", False)):
+        report = run_chaos(chain_clients, repo_pair, trials=trials,
+                           seed=2026, kinds=("drop",), max_faults=2,
+                           rollback=enabled, module="branchy-chain")
+        assert report.invariant_holds, mode
+        chaos[mode] = {
+            "trials": trials,
+            "outcomes": report.outcomes,
+            "completed_ratio": (report.outcomes.get("completed", 0)
+                                / trials),
+            "rollbacks": sum(r.rollbacks for r in report.results),
+            "retries": sum(r.retries for r in report.results),
+            "replans": sum(r.replans for r in report.results),
+            "invariant_holds": report.invariant_holds,
+        }
+        print(f"R2 chaos rollback={'on' if enabled else 'off'}: "
+              f"{chaos[mode]['outcomes']}  "
+              f"rollbacks {chaos[mode]['rollbacks']}  "
+              f"retries {chaos[mode]['retries']}  "
+              f"replans {chaos[mode]['replans']}")
+
+    single = next(c for c in cases
+                  if c["scenario"] == "single_worker_drop")["modes"]
+    pair = next(c for c in cases
+                if c["scenario"] == "failover_pair_drop")["modes"]
+    rollback_ratio = _median(
+        [c["modes"]["rollback"]["recovered_ratio"] for c in cases])
+    replan_ratio = _median(
+        [c["modes"]["replan"]["recovered_ratio"] for c in cases])
+    steps_saving = (pair["replan"]["median_recovery_steps"]
+                    / max(pair["rollback"]["median_recovery_steps"], 1e-9))
+    ticks_saving = (pair["replan"]["median_recovery_ticks"]
+                    / max(pair["rollback"]["median_recovery_ticks"], 1e-9))
+    assert single["rollback"]["recovered_ratio"] \
+        > single["replan"]["recovered_ratio"], \
+        "rollback must beat replan on the recovered-session ratio"
+    assert steps_saving > 1.0, \
+        "rollback must beat replan on median steps-to-recover"
+    return {
+        "cases": cases,
+        "chaos": chaos,
+        "verdicts_agree": True,
+        "reversible_engines_agree": True,
+        "rollback_recovered_ratio": rollback_ratio,
+        "replan_recovered_ratio": replan_ratio,
+        "rollback_beats_replan_recovery": rollback_ratio > replan_ratio,
+        "median_steps_saving": steps_saving,
+        "median_ticks_saving": ticks_saving,
+        "rollback_fewer_steps": steps_saving > 1.0,
+    }
+
+
 # -- B1: static certification vs dynamic monitoring --------------------------
 
 def run_b1(quick: bool, repeats: int) -> dict:
@@ -774,7 +950,7 @@ def run_b1(quick: bool, repeats: int) -> dict:
 
 
 SUITES = {"s1": run_s1, "s2": run_s2, "s3": run_s3, "s4": run_s4,
-          "r1": run_r1, "b1": run_b1}
+          "r1": run_r1, "r2": run_r2, "b1": run_b1}
 
 
 def next_bench_path(directory: Path) -> Path:
@@ -791,9 +967,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output-dir", type=Path, default=_ROOT,
                         help="directory for BENCH_<n>.json "
                              "(default: repository root)")
-    parser.add_argument("--suites", default="s1,s2,s3,s4,r1,b1",
+    parser.add_argument("--suites", default="s1,s2,s3,s4,r1,r2,b1",
                         help="comma-separated subset of "
-                             "s1,s2,s3,s4,r1,b1")
+                             "s1,s2,s3,s4,r1,r2,b1")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per measurement "
                              "(default: 1 with --quick, else 3)")
@@ -815,7 +991,7 @@ def main(argv: list[str] | None = None) -> int:
         suites[name] = SUITES[name](args.quick, repeats)
 
     report = {
-        "schema": "repro-bench.v4",
+        "schema": "repro-bench.v5",
         "quick": args.quick,
         "repeats": repeats,
         "started_at": started,
@@ -841,6 +1017,16 @@ def main(argv: list[str] | None = None) -> int:
                 "s4", {}).get("median_lookup_speedup"),
             "s4_registry_verdicts_identical": suites.get(
                 "s4", {}).get("verdicts_identical"),
+            "r2_rollback_recovered_ratio": suites.get(
+                "r2", {}).get("rollback_recovered_ratio"),
+            "r2_replan_recovered_ratio": suites.get(
+                "r2", {}).get("replan_recovered_ratio"),
+            "r2_rollback_beats_replan_recovery": suites.get(
+                "r2", {}).get("rollback_beats_replan_recovery"),
+            "r2_median_steps_saving": suites.get(
+                "r2", {}).get("median_steps_saving"),
+            "r2_reversible_engines_agree": suites.get(
+                "r2", {}).get("reversible_engines_agree"),
             "verdicts_identical_across_engines": (
                 suites.get("s1", {}).get("verdicts_agree", None)
                 if "s1" in suites else None),

@@ -91,6 +91,51 @@ def worker_pool(services: int, defective_every: int = 0) -> Repository:
     return Repository(pool)
 
 
+def branchy_session(preamble: int = 2) -> HistoryExpression:
+    """The client-side session body of :func:`branchy_client`:
+    *preamble* request/response rounds of setup work, then an internal
+    choice between two service branches (``go_a``/``go_b``).
+
+    The preamble is what makes the R2 comparison interesting — a
+    checkpoint rollback rewinds only to the choice point, while
+    compensation plus re-planning repeats the whole preamble from
+    scratch."""
+    body: HistoryExpression = internal(
+        ("go_a", receive("ok_a")),
+        ("go_b", receive("ok_b")))
+    for index in reversed(range(preamble)):
+        body = send(f"prep{index}", receive(f"ready{index}", body))
+    return body
+
+
+def branchy_client(preamble: int = 2) -> HistoryExpression:
+    """A client with one session offering two interchangeable branches
+    after a linear preamble — the R2 (reversible recovery) workload."""
+    return request("r", None, branchy_session(preamble))
+
+
+def branchy_worker(preamble: int = 2) -> HistoryExpression:
+    """The matching worker for :func:`branchy_client`: serves the
+    preamble, then offers *both* branches — so when a fault withholds
+    one branch's reply, the other remains a genuine way out."""
+    body: HistoryExpression = external(
+        ("go_a", send("ok_a")),
+        ("go_b", send("ok_b")))
+    for index in reversed(range(preamble)):
+        body = receive(f"prep{index}", send(f"ready{index}", body))
+    return body
+
+
+def branchy_chain(rounds: int, preamble: int = 2) -> HistoryExpression:
+    """*rounds* sequential branchy sessions (requests r0 … rN-1) — long
+    enough for sampled chaos fault windows to intersect the run."""
+    term: HistoryExpression = EPSILON
+    for index in reversed(range(rounds)):
+        term = seq(request(f"r{index}", None, branchy_session(preamble)),
+                   term)
+    return term
+
+
 def policy_heavy_client(policies: int, events_per_policy: int
                         ) -> HistoryExpression:
     """A client whose single session stacks *policies* distinct framings,

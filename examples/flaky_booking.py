@@ -11,12 +11,20 @@ hotel through the memoized planner.  The run completes with a valid
 history, without a single security violation: the paper's valid-plan
 guarantee, preserved across partial failure.
 
+The second half shows the ladder's *first* rung — reversible sessions.
+A client that chose a branch whose reply a fault withholds does not
+have to throw its session away: the supervisor rewinds to the
+checkpointed choice and takes the untried branch, and when a second
+fault lands *during* that rollback, the episode falls down the full
+ladder (rollback → retry → failover) with each rung counted distinctly.
+
 Run with::
 
     python examples/flaky_booking.py
 """
 
 from repro.analysis.verification import verify_network
+from repro.core.syntax import external, internal, receive, request, send
 from repro.core.validity import is_valid
 from repro.network.repository import Repository
 from repro.paper import figure2
@@ -81,3 +89,92 @@ print(f"invariant holds: {report.invariant_holds} "
       f"{report.undiagnosed} undiagnosed, "
       f"{report.invalid_histories} invalid histories)")
 assert report.invariant_holds
+
+# --- Reversible sessions: rewind the choice instead of replanning ---------
+
+# A branchy service: after a short handshake the client internally
+# chooses one of two branches; the worker offers both.  When a fault
+# strands the chosen branch, the *session itself* holds the way out —
+# the supervisor rewinds to the checkpoint pushed at the choice and
+# takes the untried branch, instead of compensating the whole session.
+
+
+def branchy_booking():
+    body = internal(("go_a", receive("ok_a")), ("go_b", receive("ok_b")))
+    for index in (1, 0):
+        body = send(f"prep{index}", receive(f"ready{index}", body))
+    return request("r", None, body)
+
+
+def branchy_service():
+    body = external(("go_a", send("ok_a")), ("go_b", send("ok_b")))
+    for index in (1, 0):
+        body = receive(f"prep{index}", send(f"ready{index}", body))
+    return body
+
+
+rb_clients = {"lc": branchy_booking()}
+rb_repository = Repository({"wa": branchy_service()})
+rb_verdict = verify_network(rb_clients, rb_repository)
+assert rb_verdict.verified
+rb_plans = rb_verdict.plan_vector()
+
+# Permanently drop the reply of branch a; seed 3 makes the scheduler
+# pick exactly that branch first.
+drop_ok_a = FaultPlan((Fault("drop", location="wa", channel="ok_a"),))
+
+print("\n== Rollback: the dropped branch is rewound, not replanned ==")
+rb_supervisor = Supervisor(rb_clients, rb_plans, rb_repository,
+                           fault_plan=drop_ok_a, seed=3)
+rb_outcome = rb_supervisor.run()
+for episode in rb_outcome.episodes:
+    print(f"  {episode.describe()}")
+print(f"status: {rb_outcome.status} after {rb_outcome.steps} step(s); "
+      f"{rb_supervisor.checkpoints_pushed} checkpoint(s) pushed, "
+      f"{rb_outcome.rollbacks} rollback(s), "
+      f"{rb_outcome.replans} failover(s)")
+print(f"history valid: {is_valid(rb_outcome.histories[0])}")
+
+assert rb_outcome.status == "completed"
+assert rb_outcome.rollbacks == 1 and rb_outcome.replans == 0
+assert rb_supervisor.checkpoints_pushed >= 1
+assert is_valid(rb_outcome.histories[0])
+
+# The same run with the checkpoint rung disabled: one worker, a
+# permanent drop — retry cannot heal it and there is nowhere to fail
+# over to, so the supervisor gives up (diagnosed, history still valid).
+no_rb = Supervisor(rb_clients, rb_plans, rb_repository,
+                   fault_plan=drop_ok_a, rollback=False, seed=3).run()
+print(f"without rollback: {no_rb.status} — {no_rb.diagnosis}")
+assert no_rb.status == "aborted" and no_rb.diagnosed
+assert is_valid(no_rb.histories[0])
+
+# --- A fault that lands DURING the rollback: down the whole ladder --------
+
+# Two workers this time, so failover has somewhere to go.  The second
+# drop arms while the first rollback is waiting out its backoff delay,
+# blocking the rewound alternative too: the episode walks every rung —
+# rollback, then retries, then failover — each counted distinctly.
+
+print("\n== Fault during rollback: rollback -> retry -> failover ==")
+pair_repository = Repository({"wa": branchy_service(),
+                              "wb": branchy_service()})
+assert verify_network(rb_clients, pair_repository).verified
+from repro.core.plans import Plan, PlanVector
+pair_plans = PlanVector.of(Plan.of({"r": "wa"}))
+drop_both = FaultPlan((
+    Fault("drop", location="wa", channel="ok_a"),
+    Fault("drop", location="wa", channel="go_b", at_step=7)))
+ladder = Supervisor(rb_clients, pair_plans, pair_repository,
+                    fault_plan=drop_both, seed=3).run()
+episode, = ladder.episodes
+print(f"  {episode.describe()}")
+print(f"status: {ladder.status}; counters: "
+      f"{ladder.rollbacks} rollback(s), {ladder.retries} retr(ies), "
+      f"{ladder.replans} failover(s)")
+
+assert ladder.status == "completed"
+assert (ladder.rollbacks, ladder.retries, ladder.replans) == (1, 3, 1)
+assert episode.outcome == "failed-over"
+assert all(is_valid(history) for history in ladder.histories)
+print("ladder walked in order, history valid  ✓")

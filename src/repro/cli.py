@@ -443,11 +443,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not verdict.verified:
         print(verdict.report())
         return 1
+    from repro.resilience import RollbackPolicy
+    rollback = RollbackPolicy(enabled=not args.no_rollback,
+                              max_rollbacks=args.max_rollbacks)
     report = run_chaos(network.clients, network.repository,
                        trials=args.trials, seed=args.seed, kinds=kinds,
                        max_faults=args.max_faults,
                        max_steps=args.max_steps,
                        recover=not args.no_recover,
+                       rollback=rollback,
                        module=str(args.network))
     if args.format == "json":
         print(report.to_json())
@@ -469,10 +473,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     kinds = _parse_fault_kinds(args.faults)
     with _telemetry.telemetry_session() as tel:
         network = load_network(args.network)
+        from repro.resilience import RollbackPolicy
+        rollback = RollbackPolicy(enabled=not args.no_rollback,
+                                  max_rollbacks=args.max_rollbacks)
         chaos = run_chaos(network.clients, network.repository,
                           trials=args.trials, seed=args.seed,
                           kinds=kinds, max_faults=args.max_faults,
                           max_steps=args.max_steps,
+                          rollback=rollback,
                           module=Path(args.network).name)
         merged = build_report(tel, module=Path(args.network).name,
                               chaos=chaos.to_dict(), wall=args.wall)
@@ -551,10 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "table after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    engine_choices = ("onthefly", "eager", "gfp", "compiled")
+    engine_choices = ("onthefly", "eager", "gfp", "compiled", "reversible")
     engine_help = ("compliance engine backing the verdicts (default: "
                    "%(default)s; 'compiled' runs the interned "
-                   "integer-table core)")
+                   "integer-table core; 'reversible' decides the weaker "
+                   "checkpoint/rollback relation)")
 
     check = sub.add_parser("check", help="parse and validate a network "
                                          "(error-severity lint included)")
@@ -661,6 +670,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum faults sampled per trial")
     chaos.add_argument("--max-steps", type=int, default=400,
                        help="per-trial step budget")
+    chaos.add_argument("--no-rollback", action="store_true",
+                       help="disable rollback-first recovery (pure "
+                            "compensate/replan, the pre-reversible ladder)")
+    chaos.add_argument("--max-rollbacks", type=int, default=8,
+                       help="rollback attempts per recovery episode "
+                            "(default: 8)")
     chaos.add_argument("--no-recover", action="store_true",
                        help="disable retry/failover (diagnosis only)")
     chaos.add_argument("--format", choices=("text", "json"),
@@ -679,6 +694,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated fault kinds to inject")
     report.add_argument("--max-faults", type=int, default=3)
     report.add_argument("--max-steps", type=int, default=400)
+    report.add_argument("--no-rollback", action="store_true",
+                        help="disable rollback-first recovery")
+    report.add_argument("--max-rollbacks", type=int, default=8)
     report.add_argument("--format", choices=("text", "json"),
                         default="text")
     report.add_argument("--wall", action="store_true",

@@ -1,0 +1,164 @@
+"""The compiled twin of the reversible-compliance decider.
+
+Same doom least fixpoint as :func:`repro.core.reversible.check_reversible`
+— run over the interned integer tables of :mod:`repro.compiled.tables`
+instead of term-level LTSs.  Pair states are encoded ``i * n_server + j``;
+the per-pair move groups pair the client's own label id with the server
+targets of its co-label (one int-keyed dict lookup).  Canonical order is
+reproduced from the repr side-tables (:func:`_sorted_repr_of`), so the
+verdict, ranks, adversary strategy and demonic play decode to exactly
+what the interpreted engine produces — the differential suite asserts
+object equality of the whole result.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compiled.tables import (COMPILED_CACHE_SIZE, LABELS,
+                                   CompiledContract, _sorted_repr_of,
+                                   compile_contract)
+from repro.contracts.contract import (Contract, register_cache_clearer,
+                                      register_cache_stat_names)
+from repro.core.errors import StateSpaceLimitError
+from repro.core.reversible import (ReversibleResult, _build_witness,
+                                   _demonic_play)
+from repro.core.syntax import HistoryExpression
+from repro.observability.cache_stats import (cache_stats, reset_cache_stats,
+                                             track_cache)
+
+
+def compiled_check_reversible(client_term: HistoryExpression,
+                              server_term: HistoryExpression,
+                              max_states: int) -> ReversibleResult:
+    """Decide reversible compliance over compiled tables (memoised)."""
+    return _compiled_decide(client_term, server_term, max_states)
+
+
+@lru_cache(maxsize=COMPILED_CACHE_SIZE)
+def _compiled_decide(client_term: HistoryExpression,
+                     server_term: HistoryExpression,
+                     max_states: int) -> ReversibleResult:
+    client = compile_contract(Contract(client_term, already_projected=True))
+    server = compile_contract(Contract(server_term, already_projected=True))
+    n_server = server.n_states
+    client_reprs = _sorted_repr_of(client_term)
+    server_reprs = _sorted_repr_of(server_term)
+    label_values = LABELS.labels.values
+
+    def pair_repr(code: int) -> str:
+        # repr of the decoded tuple, without decoding:
+        # repr((c, s)) == "(" + repr(c) + ", " + repr(s) + ")".
+        return (f"({client_reprs[code // n_server]}, "
+                f"{server_reprs[code % n_server]})")
+
+    def moves_of(code: int) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """``(own_label_id, successor codes)`` groups in canonical
+        (label-repr, then pair-repr) order — the int image of
+        :func:`repro.core.reversible.sync_moves`."""
+        i, j = divmod(code, n_server)
+        server_index = server.by_label[j]
+        groups: list[tuple[int, tuple[int, ...]]] = []
+        for label_id, client_targets in client.by_label[i].items():
+            server_targets = server_index.get(LABELS.co_id[label_id])
+            if not server_targets:
+                continue
+            successors = tuple(sorted(
+                (ci * n_server + sj
+                 for ci in client_targets for sj in server_targets),
+                key=pair_repr))
+            groups.append((label_id, successors))
+        groups.sort(key=lambda group: repr(label_values[group[0]]))
+        return tuple(groups)
+
+    # 1. Synchronisation-reachable closure over encoded pairs.
+    initial = 0 * n_server + 0
+    moves: dict[int, tuple[tuple[int, tuple[int, ...]], ...]] = {}
+    order: list[int] = [initial]
+    seen: set[int] = {initial}
+    cursor = 0
+    while cursor < len(order):
+        code = order[cursor]
+        cursor += 1
+        pair_moves = moves_of(code)
+        moves[code] = pair_moves
+        for _, successors in pair_moves:
+            for successor in successors:
+                if successor in seen:
+                    continue
+                if len(seen) >= max_states:
+                    raise StateSpaceLimitError(max_states,
+                                               "reversible pair graph")
+                seen.add(successor)
+                order.append(successor)
+
+    # 2. The round-synchronised doom lfp (see the interpreted engine for
+    #    why commits happen only between rounds).
+    client_terminated = client.terminated
+    doomed: dict[int, int] = {}
+    strategy: dict[int, dict[int, int]] = {}
+    rank = 0
+    while True:
+        newly: list[tuple[int, dict[int, int]]] = []
+        for code in order:
+            if code in doomed or client_terminated[code // n_server]:
+                continue
+            answers: dict[int, int] = {}
+            refuted = True
+            for label_id, successors in moves[code]:
+                picked = next((successor for successor in successors
+                               if successor in doomed), None)
+                if picked is None:
+                    refuted = False
+                    break
+                answers[label_id] = picked
+            if refuted:
+                newly.append((code, answers))
+        if not newly:
+            break
+        for code, answers in newly:
+            doomed[code] = rank
+            strategy[code] = answers
+        rank += 1
+
+    explored = len(order)
+    if initial not in doomed:
+        return ReversibleResult(True, explored)
+
+    # 3. Decode the proof back to terms and labels; the witness/play
+    #    builders are shared with the interpreted engine.
+    def decode(code: int):
+        return (client.terms[code // n_server],
+                server.terms[code % n_server])
+
+    decoded_doomed = {decode(code): stage for code, stage in doomed.items()}
+    decoded_strategy = {
+        decode(code): {label_values[label_id]: decode(successor)
+                       for label_id, successor in answers.items()}
+        for code, answers in strategy.items()}
+    decoded_initial = decode(initial)
+    return ReversibleResult(
+        False, explored,
+        witness=_build_witness(client_term, server_term, decoded_initial,
+                               decoded_doomed, decoded_strategy),
+        trace=_demonic_play(decoded_initial, decoded_doomed,
+                            decoded_strategy))
+
+
+track_cache("reversible.compiled", _compiled_decide)
+
+_CACHE_NAMES = ["reversible.compiled"]
+
+
+def compiled_reversible_cache_stats() -> dict[str, dict[str, int]]:
+    """Hits/misses/size of the compiled reversible-decider memo."""
+    return cache_stats(*_CACHE_NAMES)
+
+
+def clear_compiled_reversible_caches() -> None:
+    _compiled_decide.cache_clear()
+    reset_cache_stats(*_CACHE_NAMES)
+
+
+register_cache_clearer(clear_compiled_reversible_caches)
+register_cache_stat_names(*_CACHE_NAMES)

@@ -31,7 +31,13 @@ Three independent deciders are provided:
 * ``check_compliance(..., engine="compiled")`` runs the on-the-fly BFS
   over the interned integer tables of :mod:`repro.compiled` — same
   verdict, witness and explored count as ``"onthefly"``, typically an
-  order of magnitude faster on large products.
+  order of magnitude faster on large products;
+* ``check_compliance(..., engine="reversible")`` decides the *reversible*
+  relation of :mod:`repro.core.reversible` — compliance up to
+  checkpoint/rollback of retractable choices: strictly weaker than the
+  relations above (``Hc ⊢ Hs`` implies reversible compliance), failing
+  only when no rollback strategy avoids a stuck pair; the witness is
+  then the end of a demonic play certified by an adversary strategy.
 
 The test suite checks that they all agree on randomly generated
 contracts — a machine check of Theorems 1 and 2.
@@ -85,9 +91,10 @@ def check_compliance(client: HistoryExpression | Contract,
     and stops at the first stuck pair; ``"eager"`` materialises the full
     explicit automaton first; ``"gfp"`` re-derives the relation as a
     greatest fixpoint; ``"compiled"`` runs the on-the-fly BFS over the
-    interned integer tables of :mod:`repro.compiled`.  All return the
-    same verdict and a shortest trace; the test suite cross-validates
-    them.
+    interned integer tables of :mod:`repro.compiled`.  All four return
+    the same verdict and a shortest trace; the test suite cross-validates
+    them.  ``"reversible"`` instead decides the strictly weaker
+    checkpoint/rollback relation (see :mod:`repro.core.reversible`).
     """
     tel = _telemetry.active()
     if tel is None:
@@ -140,8 +147,22 @@ def _check(client: HistoryExpression | Contract,
         trace = certificate.witness.trace
         return ComplianceResult(False, witness=trace[-1], trace=trace,
                                 explored_states=certificate.pairs)
-    raise ValueError(f"unknown compliance engine {engine!r} "
-                     "(expected 'onthefly', 'eager', 'gfp' or 'compiled')")
+    if engine == "reversible":
+        # Imported lazily: the reversible layer builds on this module's
+        # siblings.  The demonic play doubles as the trace: its last pair
+        # is stuck beyond the reach of any rollback.
+        from repro.core.reversible import check_reversible
+        reversible = check_reversible(client_c, server_c)
+        if reversible.compliant:
+            return ComplianceResult(
+                True, explored_states=reversible.explored_states)
+        assert reversible.trace is not None
+        return ComplianceResult(False, witness=reversible.trace[-1],
+                                trace=reversible.trace,
+                                explored_states=reversible.explored_states)
+    raise ValueError(f"unknown compliance engine {engine!r} (expected "
+                     "'onthefly', 'eager', 'gfp', 'compiled' or "
+                     "'reversible')")
 
 
 def compliant(client: HistoryExpression | Contract,

@@ -4,6 +4,8 @@ The package layers resilience over :mod:`repro.network`:
 
 * :mod:`repro.resilience.faults` — declarative, seeded fault plans
   (crash / drop / stall / byzantine);
+* :mod:`repro.resilience.checkpoints` — checkpointed choices and the
+  rollback policy (the network-level reversible-session state);
 * :mod:`repro.resilience.recovery` — backoff, compensation and failover
   re-planning through the memoized planner;
 * :mod:`repro.resilience.supervisor` — a fault-detecting wrapper around
@@ -13,6 +15,8 @@ The package layers resilience over :mod:`repro.network`:
   undiagnosed trial).
 """
 
+from repro.resilience.checkpoints import (Checkpoint, RollbackPolicy,
+                                          move_key)
 from repro.resilience.faults import (FAULT_KINDS, Fault, FaultPlan,
                                      involved_locations, module_requests,
                                      mutate_term, sample_fault_plan,
@@ -26,6 +30,7 @@ from repro.resilience.supervisor import (BREAKER_EDGES, CircuitBreaker,
                                          Supervisor, SupervisorResult)
 
 __all__ = [
+    "Checkpoint", "RollbackPolicy", "move_key",
     "FAULT_KINDS", "Fault", "FaultPlan", "involved_locations",
     "module_requests", "mutate_term", "sample_fault_plan",
     "service_channels",

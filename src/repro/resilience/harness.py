@@ -31,12 +31,14 @@ from repro.core.errors import ReproError
 from repro.core.validity import is_valid
 from repro.network.repository import Repository
 from repro.observability import runtime as _telemetry
+from repro.resilience.checkpoints import RollbackPolicy
 from repro.resilience.faults import module_requests, sample_fault_plan
 from repro.resilience.recovery import BackoffPolicy
 from repro.resilience.supervisor import Supervisor
 
-#: Identifier of the JSON report layout below.
-CHAOS_SCHEMA = "repro-chaos.v1"
+#: Identifier of the JSON report layout below.  v2 added the rollback
+#: knob and the per-trial/aggregate rollback counters.
+CHAOS_SCHEMA = "repro-chaos.v2"
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,7 @@ class TrialResult:
     steps: int
     clock: int
     retries: int
+    rollbacks: int
     replans: int
     episodes: tuple[str, ...]
     diagnosis: str | None
@@ -69,6 +72,7 @@ class TrialResult:
             "steps": self.steps,
             "clock": self.clock,
             "retries": self.retries,
+            "rollbacks": self.rollbacks,
             "replans": self.replans,
             "episodes": list(self.episodes),
             "diagnosis": self.diagnosis,
@@ -87,6 +91,8 @@ class ChaosReport:
     trials: int
     kinds: tuple[str, ...]
     recover: bool
+    rollback: bool = True
+    max_rollbacks: int = RollbackPolicy().max_rollbacks
     results: list[TrialResult] = field(default_factory=list)
 
     @property
@@ -123,6 +129,8 @@ class ChaosReport:
             "trials": self.trials,
             "kinds": list(self.kinds),
             "recover": self.recover,
+            "rollback": self.rollback,
+            "max_rollbacks": self.max_rollbacks,
             "outcomes": self.outcomes,
             "security_violations": self.security_violations,
             "undiagnosed": self.undiagnosed,
@@ -138,16 +146,19 @@ class ChaosReport:
         lines = [
             f"chaos run over {self.module}: {self.trials} trial(s), "
             f"seed {self.seed}, faults {'+'.join(self.kinds)}, "
-            f"recovery {'on' if self.recover else 'off'}",
+            f"recovery {'on' if self.recover else 'off'}, "
+            f"rollback {'on' if self.rollback else 'off'}",
             "",
         ]
         for status, count in self.outcomes.items():
             lines.append(f"  {status:<20} {count}")
         lines.append("")
         total_retries = sum(result.retries for result in self.results)
+        total_rollbacks = sum(result.rollbacks for result in self.results)
         total_replans = sum(result.replans for result in self.results)
         total_faults = sum(len(result.faults) for result in self.results)
         lines.append(f"  faults injected      {total_faults}")
+        lines.append(f"  rollbacks            {total_rollbacks}")
         lines.append(f"  retries              {total_retries}")
         lines.append(f"  failover replans     {total_replans}")
         lines.append("")
@@ -179,6 +190,7 @@ def run_chaos(clients, repository: Repository, *,
               max_steps: int = 400,
               deadline: int | None = None,
               recover: bool = True,
+              rollback: RollbackPolicy | bool = True,
               backoff: BackoffPolicy = BackoffPolicy(),
               breaker_threshold: int = 2,
               breaker_cooldown: int = 6,
@@ -188,7 +200,14 @@ def run_chaos(clients, repository: Repository, *,
     The module is verified first; chaos only makes sense from a valid
     plan (that is the hypothesis of the invariant), so an unverified
     module raises :class:`ReproError` instead of producing a report.
+
+    *rollback* selects the supervisor's rollback-first recovery (a
+    :class:`RollbackPolicy`, or ``True``/``False`` for the default
+    enabled/disabled policy); ``rollback=False`` reproduces the pure
+    replan-from-scratch ladder — the baseline the R2 benchmark compares
+    against.
     """
+    rollback_policy = RollbackPolicy.of(rollback)
     tel = _telemetry.active()
     if tel is not None:
         with tel.events.session("verify"):
@@ -205,7 +224,9 @@ def run_chaos(clients, repository: Repository, *,
     requests = module_requests(clients, repository)
     rng = random.Random(seed)
     report = ChaosReport(module=module, seed=seed, trials=trials,
-                         kinds=tuple(kinds), recover=recover)
+                         kinds=tuple(kinds), recover=recover,
+                         rollback=rollback_policy.enabled,
+                         max_rollbacks=rollback_policy.max_rollbacks)
     for trial in range(trials):
         trial_seed = rng.randrange(2 ** 32)
         fault_plan = sample_fault_plan(random.Random(trial_seed),
@@ -216,6 +237,7 @@ def run_chaos(clients, repository: Repository, *,
         supervisor = Supervisor(clients, plans, repository,
                                 fault_plan=fault_plan,
                                 recover=recover,
+                                rollback=rollback_policy,
                                 backoff=backoff,
                                 breaker_threshold=breaker_threshold,
                                 breaker_cooldown=breaker_cooldown,
@@ -242,6 +264,7 @@ def run_chaos(clients, repository: Repository, *,
             steps=result.steps,
             clock=result.clock,
             retries=result.retries,
+            rollbacks=result.rollbacks,
             replans=result.replans,
             episodes=tuple(episode.describe()
                            for episode in result.episodes),

@@ -62,10 +62,14 @@ class RecoveryEpisode:
     ``trigger`` says why recovery started (``injected-blockage`` — a
     fault filter starved the component; ``communication-stuck`` — the
     semantics itself has no move; ``breaker-open`` — only breaker-barred
-    moves remained).  ``outcome`` is ``retried`` (backoff waited the
-    fault out), ``failed-over`` (compensated and re-planned) or
+    moves remained; ``rollback-barred`` — only branches banned by an
+    earlier rollback remained).  ``outcome`` is ``rolled-back`` (rewound
+    to a checkpoint with an untried branch), ``retried`` (backoff waited
+    the fault out), ``failed-over`` (compensated and re-planned) or
     ``gave-up`` (no healthy alternative — the run aborts with this
-    episode as diagnosis).
+    episode as diagnosis).  ``rollbacks``, ``retries`` and ``replanned``
+    are *distinct* counters: a rewind is never reported as a retry or a
+    replan.
     """
 
     component: int
@@ -73,6 +77,7 @@ class RecoveryEpisode:
     suspects: tuple[str, ...]
     started_at: int
     retries: int = 0
+    rollbacks: int = 0
     waited_ticks: int = 0
     replanned: bool = False
     new_plan: str | None = None
@@ -84,7 +89,8 @@ class RecoveryEpisode:
         extra = f" -> {self.new_plan}" if self.new_plan else ""
         return (f"component {self.component} {self.trigger} at tick "
                 f"{self.started_at} (suspects: {suspects}): "
-                f"{self.outcome} after {self.retries} retr(ies), "
+                f"{self.outcome} after {self.rollbacks} rollback(s), "
+                f"{self.retries} retr(ies), "
                 f"{self.waited_ticks} tick(s) waited{extra}")
 
 

@@ -11,11 +11,18 @@ transition at a time, with three extra powers the plain simulator lacks:
   tells *injected* starvation (the raw semantics still has moves) from
   genuine stuckness, and classifies the latter with
   :func:`~repro.network.semantics.classify_stuckness`;
-* **recovery** — blocked components go through bounded backoff retry,
-  then compensation plus failover re-planning
-  (:mod:`repro.resilience.recovery`), guarded by a per-location circuit
-  breaker (closed → open after repeated failures → half-open probe
-  after a cooldown).
+* **recovery** — the ladder is rollback-first: blocked components first
+  rewind to their latest checkpoint with an untried branch
+  (:mod:`repro.resilience.checkpoints`), each attempt waiting one
+  exponential-backoff delay on the simulated clock; only when the
+  checkpoint stack (or the per-episode rollback budget) is exhausted do
+  they fall back to bounded backoff retry, then compensation plus
+  failover re-planning (:mod:`repro.resilience.recovery`), guarded by a
+  per-location circuit breaker (closed → open after repeated failures →
+  half-open probe after a cooldown).  Because due faults are applied
+  after every rollback wait, chaos can inject faults *during* rollback
+  — a rewound branch may find its alternative freshly blocked and
+  rewind deeper.
 
 Budgets (transition steps and simulated-clock deadline) bound every run,
 and the result always says *how* it ended — completion, clean abort with
@@ -36,6 +43,8 @@ from repro.network.repository import Repository
 from repro.network.semantics import (NetworkTransition, classify_stuckness)
 from repro.network.simulator import Simulator
 from repro.observability import runtime as _telemetry
+from repro.resilience.checkpoints import (Checkpoint, MoveKey,
+                                          RollbackPolicy, move_key)
 from repro.resilience.faults import Fault, FaultPlan, involved_locations, \
     mutate_term
 from repro.resilience.recovery import (BackoffPolicy, RecoveryEpisode,
@@ -141,10 +150,17 @@ class SupervisorResult:
 
     @property
     def retries(self) -> int:
+        """Backoff waits across every episode (never rollbacks/replans)."""
         return sum(episode.retries for episode in self.episodes)
 
     @property
+    def rollbacks(self) -> int:
+        """Checkpoint rewinds across every episode."""
+        return sum(episode.rollbacks for episode in self.episodes)
+
+    @property
     def replans(self) -> int:
+        """Episodes that compensated and failed over to a new plan."""
         return sum(1 for episode in self.episodes
                    if episode.outcome == "failed-over")
 
@@ -161,6 +177,7 @@ class Supervisor:
                  repository: Repository,
                  fault_plan: FaultPlan = FaultPlan(),
                  recover: bool = True,
+                 rollback: RollbackPolicy | bool = True,
                  backoff: BackoffPolicy = BackoffPolicy(),
                  breaker_threshold: int = 2,
                  breaker_cooldown: int = 6,
@@ -172,6 +189,7 @@ class Supervisor:
         self.repository = repository
         self.fault_plan = fault_plan
         self.recover = recover
+        self.rollback_policy = RollbackPolicy.of(rollback)
         self.backoff = backoff
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
@@ -202,6 +220,18 @@ class Supervisor:
         #: Per-component stack of open session target locations.
         self._session_targets: list[list[str]] = [
             [] for _ in self.clients]
+        #: Per-component checkpoint stacks (reversible-session state).
+        self._checkpoints: list[list[Checkpoint]] = [
+            [] for _ in self.clients]
+        #: Branch keys barred per component until its next firing — the
+        #: tried set of the checkpoint a rollback restored.
+        self._banned: list[frozenset[MoveKey]] = [
+            frozenset() for _ in self.clients]
+        #: The restored checkpoint awaiting its re-choice; re-pushed
+        #: (with the taken branch added to ``tried``) when the component
+        #: fires again, so no branch repeats from the same state.
+        self._pending: list[Checkpoint | None] = [None] * len(self.clients)
+        self.checkpoints_pushed = 0
 
     # -- breaker plumbing ---------------------------------------------------
 
@@ -306,6 +336,53 @@ class Supervisor:
 
     # -- session/breaker bookkeeping ----------------------------------------
 
+    def _note_choice(self, allowed: list[NetworkTransition],
+                     transition: NetworkTransition) -> None:
+        """Checkpoint the choice *transition* resolves, before it fires.
+
+        A fresh checkpoint is pushed when the firing component had two
+        or more distinct enabled branch keys this tick.  If the
+        component is re-choosing after a rollback, the restored
+        checkpoint is re-pushed instead, with the taken branch added to
+        its tried set — so no branch ever repeats from one checkpoint —
+        and its ban is lifted.
+        """
+        if not self.rollback_policy.enabled:
+            return
+        index = transition.component
+        fired = move_key(transition)
+        pending = self._pending[index]
+        if pending is not None:
+            tried = pending.tried
+            if fired in pending.alternatives:
+                tried = tried | {fired}
+            self._checkpoints[index].append(
+                Checkpoint(component=index, snapshot=pending.snapshot,
+                           targets=pending.targets,
+                           alternatives=pending.alternatives, tried=tried,
+                           tick=pending.tick, step=pending.step))
+            self._pending[index] = None
+            self._banned[index] = frozenset()
+            return
+        keys = {move_key(candidate) for candidate in allowed
+                if candidate.component == index}
+        if len(keys) < 2:
+            return
+        self._checkpoints[index].append(
+            Checkpoint(component=index,
+                       snapshot=self.simulator.configuration[index],
+                       targets=tuple(self._session_targets[index]),
+                       alternatives=frozenset(keys),
+                       tried=frozenset({fired}),
+                       tick=self.clock, step=len(self.simulator.log)))
+        self.checkpoints_pushed += 1
+        tel = _telemetry.active()
+        if tel is not None:
+            tel.metrics.counter("resilience.checkpoints").inc()
+            tel.emit("checkpoint.push", component=index,
+                     alternatives=len(keys), tick=self.clock,
+                     step=len(self.simulator.log))
+
     def _note_fired(self, transition: NetworkTransition) -> None:
         stack = self._session_targets[transition.component]
         if transition.rule == "open":
@@ -363,8 +440,10 @@ class Supervisor:
                         None)
             self._apply_due_mutations()
             raw, allowed, blocking = self._filtered()
+            allowed, barred = self._without_banned(allowed)
             if allowed:
                 transition = self._rng.choice(allowed)
+                self._note_choice(allowed, transition)
                 self._note_fired(transition)
                 self.simulator.fire(transition)
                 self.clock += 1
@@ -373,7 +452,8 @@ class Supervisor:
             if self.simulator.is_terminated():
                 return "completed", None, None
             # -- nothing may fire: diagnose ---------------------------------
-            component, trigger, suspects = self._diagnose(raw, blocking)
+            component, trigger, suspects = self._diagnose(raw, blocking,
+                                                          barred)
             tel = _telemetry.active()
             if tel is not None:
                 abort = tel.emit("session.abort", component=component,
@@ -394,11 +474,27 @@ class Supervisor:
                         f"disabled (suspects: "
                         f"{', '.join(suspects) or 'none'})", None)
             episode = self._recover(component, trigger, suspects)
-            if episode.outcome in ("retried", "failed-over"):
+            if episode.outcome in ("rolled-back", "retried", "failed-over"):
                 continue
             return "aborted", episode.describe(), None
 
-    def _diagnose(self, raw, blocking
+    def _without_banned(self, allowed: list[NetworkTransition]
+                        ) -> tuple[list[NetworkTransition], frozenset[int]]:
+        """Drop transitions on branch keys banned by an active rollback;
+        returns the survivors and the components that lost *every* move
+        to a ban (the ``rollback-barred`` diagnosis)."""
+        if not any(self._banned):
+            return allowed, frozenset()
+        kept: list[NetworkTransition] = []
+        dropped: set[int] = set()
+        for transition in allowed:
+            if move_key(transition) in self._banned[transition.component]:
+                dropped.add(transition.component)
+            else:
+                kept.append(transition)
+        return kept, frozenset(dropped - {t.component for t in kept})
+
+    def _diagnose(self, raw, blocking, barred: frozenset[int] = frozenset()
                   ) -> tuple[int, str, tuple[str, ...]]:
         """Pick the first blocked, non-terminated component and name the
         blockage and the suspect service locations."""
@@ -420,6 +516,11 @@ class Supervisor:
                     if target is not None:
                         suspects = (target,)
                 return index, "injected-blockage", suspects
+            if index in barred:
+                # Only rollback-banned branches remained: the restored
+                # checkpoint's untried alternatives are themselves
+                # blocked — recovery will rewind deeper.
+                return index, "rollback-barred", suspects
             if index in components_with_moves:
                 # Only breaker-barred moves remained.
                 return index, "breaker-open", suspects
@@ -476,15 +577,85 @@ class Supervisor:
                                     outcome=episode.outcome).inc()
                 if span is not None:
                     span.set(outcome=episode.outcome,
+                             rollbacks=episode.rollbacks,
                              retries=episode.retries,
                              replanned=episode.replanned)
                     tel.tracer.end_span(span)
         return episode
 
+    def _pop_checkpoint(self, index: int) -> Checkpoint | None:
+        """The nearest checkpoint of component *index* with an untried
+        branch (exhausted ones are discarded on the way)."""
+        stack = self._checkpoints[index]
+        while stack:
+            checkpoint = stack.pop()
+            if checkpoint.untried:
+                return checkpoint
+        return None
+
+    def _try_rollback(self, index: int,
+                      episode: RecoveryEpisode) -> bool:
+        """Rung 1 of the ladder: rewind to checkpoints with untried
+        branches, exponential backoff between attempts.
+
+        Each attempt restores the snapshot, bans the tried branch keys
+        until the component's next firing, then waits one backoff delay
+        — applying due fault mutations afterwards, so faults injected
+        *during* the rollback are live before progress is re-checked.
+        An attempt whose untried branches are themselves blocked simply
+        rewinds deeper on the next iteration, until the per-episode
+        budget or the checkpoint stack runs out.
+        """
+        policy = self.rollback_policy
+        if not policy.enabled:
+            return False
+        tel = _telemetry.active()
+        for attempt in range(policy.max_rollbacks):
+            checkpoint = self._pop_checkpoint(index)
+            if checkpoint is None:
+                return False
+            delay = min(self.backoff.base * self.backoff.factor ** attempt,
+                        self.backoff.max_delay)
+            episode.rollbacks += 1
+            episode.waited_ticks += delay
+            self.clock += delay
+            self.simulator.configuration = \
+                self.simulator.configuration.replace(index,
+                                                     checkpoint.snapshot)
+            self._session_targets[index] = list(checkpoint.targets)
+            self._banned[index] = frozenset(checkpoint.tried)
+            self._pending[index] = checkpoint
+            if tel is not None:
+                tel.metrics.counter("resilience.rollbacks").inc()
+                self._last_event_seq = tel.emit(
+                    "recovery.rollback", component=index,
+                    to_tick=checkpoint.tick, to_step=checkpoint.step,
+                    untried=len(checkpoint.untried), waited=delay,
+                    tick=self.clock, cause=self._last_event_seq).seq
+            self._apply_due_mutations()
+            _raw, allowed, _blocking = self._filtered()
+            allowed, _barred = self._without_banned(allowed)
+            if allowed:
+                episode.outcome = "rolled-back"
+                return True
+        return False
+
+    def _drop_checkpoints(self, index: int) -> None:
+        """Forget component *index*'s reversible-session state (its
+        history is being rewritten by compensation — the snapshots no
+        longer extend it)."""
+        self._checkpoints[index] = []
+        self._banned[index] = frozenset()
+        self._pending[index] = None
+
     def _recover_inner(self, index: int,
                        episode: RecoveryEpisode) -> None:
         tel = _telemetry.active()
-        # 1. Bounded retry: wait transient faults (and breaker
+        # 1. Rollback-first: rewind to the last checkpoint and steer
+        #    onto an untried branch.
+        if self._try_rollback(index, episode):
+            return
+        # 2. Bounded retry: wait transient faults (and breaker
         #    cooldowns) out on the simulated clock.
         for delay in self.backoff.delays():
             episode.retries += 1
@@ -498,10 +669,11 @@ class Supervisor:
                     cause=self._last_event_seq).seq
             self._apply_due_mutations()
             _raw, allowed, _blocking = self._filtered()
+            allowed, _barred = self._without_banned(allowed)
             if allowed:
                 episode.outcome = "retried"
                 return
-        # 2. Failover: blame the suspects, re-plan around them, and
+        # 3. Failover: blame the suspects, re-plan around them, and
         #    compensate the component so its history stays consistent.
         for location in episode.suspects:
             self._breaker(location).record_failure(self.clock)
@@ -529,6 +701,7 @@ class Supervisor:
         restarted = compensate(component, client, self.clients[client])
         self.simulator.configuration = \
             self.simulator.configuration.replace(index, restarted)
+        self._drop_checkpoints(index)
         if tel is not None:
             self._last_event_seq = tel.emit(
                 "recovery.compensate", component=index,

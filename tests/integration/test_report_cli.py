@@ -72,7 +72,7 @@ class TestReportJson:
     def test_chaos_verdict_is_embedded(self, capsys):
         _, out = run_report(capsys, REPORT_ARGS)
         chaos = json.loads(out)["chaos"]
-        assert chaos["schema"] == "repro-chaos.v1"
+        assert chaos["schema"] == "repro-chaos.v2"
         assert chaos["invariant_holds"] is True
         assert chaos["trials"] == 8
 

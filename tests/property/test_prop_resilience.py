@@ -1,11 +1,19 @@
 """Property-based checks of the resilience layer.
 
-Two families, straight from the subsystem's contract:
+Four families, straight from the subsystem's contract:
 
 * **recovery safety** — whatever seeded fault plan is thrown at a
   verified module, the supervised run never produces an invalid
   history, never reports a security violation (the plans are valid),
   and always ends diagnosed;
+* **rollback prefix-validity** — with checkpoint rollback enabled,
+  every recorded history (and every *prefix* of it: rewinds truncate
+  traces, so the prefix property is precisely the rollback invariant)
+  stays valid, across sampled fault plans;
+* **engine agreement** — on random contract pairs the four ordinary
+  compliance engines return one verdict, the two reversible deciders
+  return one verdict, and ordinary compliance implies reversible
+  compliance (Doom lfp soundness);
 * **breaker monotonicity** — a circuit breaker only ever moves along
   the legal edges closed→open→half-open→{closed, open}, with
   non-decreasing ticks, no matter the operation sequence.
@@ -14,14 +22,18 @@ Two families, straight from the subsystem's contract:
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from benchmarks.workloads import (chain_client, pumping_client,
+from benchmarks.workloads import (branchy_client, branchy_worker,
+                                  chain_client, pumping_client,
                                   recursive_ticker, worker_pool)
 from repro.analysis.verification import verify_network
-from repro.core.validity import is_valid
+from repro.core.compliance import check_compliance
+from repro.core.reversible import check_reversible
+from repro.core.validity import History, is_valid
 from repro.network.repository import Repository
 from repro.resilience.faults import module_requests, sample_fault_plan
 from repro.resilience.supervisor import (BREAKER_EDGES, CircuitBreaker,
                                          Supervisor)
+from tests.strategies import contracts
 
 
 def supervised_run(clients, repository, seed,
@@ -76,6 +88,79 @@ class TestRecoveryNeverInvalidatesHistories:
         assert_invariant(supervised_run(
             clients, worker_pool(3), seed,
             kinds=("crash", "byzantine")))
+
+
+class TestRollbackPrefixValidity:
+    """The reversible-session invariant under chaos: rewinds only ever
+    truncate traces, so recorded histories — and every prefix of them —
+    stay valid with rollback enabled."""
+
+    @staticmethod
+    def assert_prefix_valid(result):
+        assert_invariant(result)
+        for history in result.histories:
+            labels = tuple(history)
+            for cut in range(len(labels) + 1):
+                assert is_valid(History(labels[:cut]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           workers=st.integers(min_value=1, max_value=3))
+    def test_branchy_module_under_random_drops(self, seed, workers):
+        clients = {"lc": branchy_client()}
+        repository = Repository({f"w{i}": branchy_worker()
+                                 for i in range(workers)})
+        verdict = verify_network(clients, repository)
+        assert verdict.verified
+        fault_plan = sample_fault_plan(
+            seed, repository,
+            requests=module_requests(clients, repository),
+            kinds=("drop",))
+        result = Supervisor(clients, verdict.plan_vector(), repository,
+                            fault_plan=fault_plan, rollback=True,
+                            seed=seed, max_steps=300).run()
+        self.assert_prefix_valid(result)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           requests=st.integers(min_value=1, max_value=3))
+    def test_worker_pool_with_rollback_under_mixed_faults(self, seed,
+                                                          requests):
+        clients = {"lc": chain_client(requests)}
+        repository = worker_pool(3)
+        verdict = verify_network(clients, repository)
+        assert verdict.verified
+        fault_plan = sample_fault_plan(
+            seed, repository,
+            requests=module_requests(clients, repository))
+        result = Supervisor(clients, verdict.plan_vector(), repository,
+                            fault_plan=fault_plan, rollback=True,
+                            seed=seed, max_steps=300).run()
+        self.assert_prefix_valid(result)
+
+
+class TestEngineAgreement:
+    """One verdict across all compliance engines, and the lfp-soundness
+    implication: ordinarily compliant pairs are reversibly compliant."""
+
+    ENGINES = ("onthefly", "eager", "gfp", "compiled")
+
+    @settings(max_examples=40, deadline=None)
+    @given(client=contracts(max_depth=3), server=contracts(max_depth=3))
+    def test_ordinary_engines_agree_and_imply_reversible(self, client,
+                                                         server):
+        verdicts = {engine: check_compliance(client, server,
+                                             engine=engine).compliant
+                    for engine in self.ENGINES}
+        assert len(set(verdicts.values())) == 1, verdicts
+        interpreted = check_reversible(client, server,
+                                       engine="interpreted")
+        compiled = check_reversible(client, server, engine="compiled")
+        assert interpreted == compiled
+        if verdicts["onthefly"]:
+            assert interpreted.compliant
+        if not interpreted.compliant:
+            assert interpreted.witness.replays()
 
 
 #: One breaker operation: (op, tick-advance).

@@ -44,7 +44,7 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert status == 0
         data = json.loads(out)
-        assert data["schema"] == "repro-chaos.v1"
+        assert data["schema"] == "repro-chaos.v2"
         assert data["trials"] == 4
         assert data["invariant_holds"] is True
 

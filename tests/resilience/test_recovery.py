@@ -22,6 +22,26 @@ class TestBackoffPolicy:
     def test_zero_retries(self):
         assert list(BackoffPolicy(max_retries=0).delays()) == []
 
+    def test_budget_is_exactly_max_retries(self):
+        for budget in range(5):
+            policy = BackoffPolicy(max_retries=budget)
+            assert len(list(policy.delays())) == budget
+
+    def test_cap_below_base_flattens_every_delay(self):
+        policy = BackoffPolicy(base=5, factor=3, max_delay=2,
+                               max_retries=3)
+        assert list(policy.delays()) == [2, 2, 2]
+
+    def test_exhausted_budget_total_wait_is_closed_form(self):
+        policy = BackoffPolicy(base=1, factor=2, max_delay=8,
+                               max_retries=6)
+        assert sum(policy.delays()) == sum(
+            min(1 * 2 ** attempt, 8) for attempt in range(6))
+
+    def test_delays_are_repeatable(self):
+        policy = BackoffPolicy()
+        assert list(policy.delays()) == list(policy.delays())
+
 
 def component_with_history(labels):
     return Component(History(tuple(labels)), Leaf("lc", figure2.client_1()))

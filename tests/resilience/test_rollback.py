@@ -1,0 +1,195 @@
+"""Tests for rollback-first supervision: checkpointed choices, rewinds,
+the recovery-ladder order, and the distinct recovery counters.
+
+The workload is the branchy module (a linear preamble, then an internal
+choice between two service branches) — seed 3 makes the scheduler pick
+the ``go_a`` branch first, which a permanent ``drop`` on ``ok_a``
+strands one step in.
+"""
+
+import pytest
+
+from benchmarks.workloads import branchy_client, branchy_worker
+from repro.core.plans import Plan, PlanVector
+from repro.core.validity import is_valid
+from repro.network.repository import Repository
+from repro.resilience import (Fault, FaultPlan, RollbackPolicy,
+                              Supervisor, move_key)
+from repro.resilience.recovery import BackoffPolicy
+
+#: A seed whose first scheduler pick is the doomed ``go_a`` branch.
+BAD_BRANCH_SEED = 3
+
+
+def branchy_module(workers=("wa",)):
+    clients = {"lc": branchy_client()}
+    plans = PlanVector.of(Plan.of({"r": "wa"}))
+    repository = Repository({name: branchy_worker() for name in workers})
+    return clients, plans, repository
+
+
+DROP_OK_A = FaultPlan((Fault("drop", location="wa", channel="ok_a"),))
+
+#: ``ok_a`` dead from the start, and ``go_b`` — the rollback's escape
+#: branch — freshly dropped while the first rollback is waiting out its
+#: backoff delay (the supervisor re-applies due faults mid-rollback).
+DROP_BOTH_BRANCHES = FaultPlan((
+    Fault("drop", location="wa", channel="ok_a"),
+    Fault("drop", location="wa", channel="go_b", at_step=7)))
+
+
+class TestRollbackPolicy:
+    def test_of_normalises_booleans(self):
+        assert RollbackPolicy.of(True) == RollbackPolicy()
+        assert not RollbackPolicy.of(False).enabled
+        policy = RollbackPolicy(enabled=True, max_rollbacks=2)
+        assert RollbackPolicy.of(policy) is policy
+
+    def test_move_key_distinguishes_channels(self):
+        clients, plans, repository = branchy_module()
+        supervisor = Supervisor(clients, plans, repository,
+                                seed=BAD_BRANCH_SEED)
+        transitions = supervisor.simulator.available()
+        keys = {move_key(t) for t in transitions}
+        assert len(keys) == len({(t.rule, str(t.label))
+                                 for t in transitions})
+
+
+class TestRollbackRecovery:
+    def test_rollback_recovers_the_dropped_branch(self):
+        clients, plans, repository = branchy_module()
+        supervisor = Supervisor(clients, plans, repository,
+                                fault_plan=DROP_OK_A,
+                                seed=BAD_BRANCH_SEED)
+        result = supervisor.run()
+        assert result.status == "completed"
+        assert result.rollbacks == 1
+        assert result.retries == 0
+        assert result.replans == 0
+        assert supervisor.checkpoints_pushed >= 1
+        episode, = result.episodes
+        assert episode.outcome == "rolled-back"
+        assert "1 rollback(s)" in episode.describe()
+        assert all(is_valid(history) for history in result.histories)
+
+    def test_rollback_disabled_has_no_way_out(self):
+        # One worker, permanent drop: without rollback the ladder can
+        # only retry (fails — the drop is permanent) and replan (fails —
+        # there is no alternative location).
+        clients, plans, repository = branchy_module()
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_OK_A, rollback=False,
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "aborted"
+        assert "gave-up" in result.diagnosis
+        assert result.rollbacks == 0
+        assert all(is_valid(history) for history in result.histories)
+
+    def test_rollback_beats_failover_on_steps_and_ticks(self):
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        rolled = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_OK_A,
+                            seed=BAD_BRANCH_SEED).run()
+        replanned = Supervisor(clients, plans, repository,
+                               fault_plan=DROP_OK_A, rollback=False,
+                               seed=BAD_BRANCH_SEED).run()
+        assert rolled.status == replanned.status == "completed"
+        assert rolled.rollbacks == 1 and replanned.replans == 1
+        assert rolled.steps < replanned.steps
+        assert rolled.clock < replanned.clock
+
+    def test_rollback_budget_exhaustion_falls_down_the_ladder(self):
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_OK_A,
+                            rollback=RollbackPolicy(max_rollbacks=0),
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "completed"
+        assert result.rollbacks == 0
+        assert result.replans == 1  # straight to the failover rung
+
+    def test_fault_free_runs_identical_with_and_without_rollback(self):
+        # Checkpointing must not perturb the scheduler's RNG stream:
+        # with no fault a run is bit-identical either way.
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        for seed in range(6):
+            on = Supervisor(clients, plans, repository,
+                            rollback=True, seed=seed).run()
+            off = Supervisor(clients, plans, repository,
+                             rollback=False, seed=seed).run()
+            assert on.status == off.status == "completed"
+            assert on.steps == off.steps
+            assert on.histories == off.histories
+
+    def test_histories_stay_valid_across_seeds(self):
+        clients, plans, repository = branchy_module()
+        for seed in range(8):
+            result = Supervisor(clients, plans, repository,
+                                fault_plan=DROP_OK_A, seed=seed).run()
+            assert result.status == "completed"
+            assert all(is_valid(history)
+                       for history in result.histories)
+
+
+class TestFaultDuringRollback:
+    def test_blocked_alternative_escalates_to_failover(self):
+        # The ``go_b`` drop arms during the rollback's backoff wait, so
+        # the rewound choice finds its alternative blocked too; the
+        # episode then walks the whole ladder — and each rung is
+        # counted distinctly, never conflated.
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_BOTH_BRANCHES,
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "completed"
+        episode, = result.episodes
+        assert episode.outcome == "failed-over"
+        assert episode.rollbacks == 1
+        assert episode.retries == 3
+        assert episode.replanned
+        assert (result.rollbacks, result.retries, result.replans) \
+            == (1, 3, 1)
+        assert all(is_valid(history) for history in result.histories)
+
+    def test_no_alternative_left_gives_up_diagnosed(self):
+        clients, plans, repository = branchy_module()
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_BOTH_BRANCHES,
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "aborted"
+        assert result.diagnosed
+        episode, = result.episodes
+        assert episode.outcome == "gave-up"
+        assert episode.rollbacks == 1
+        assert episode.retries == 3
+        assert all(is_valid(history) for history in result.histories)
+
+
+class TestLadderOrder:
+    def test_retry_budget_exhaustion_reaches_failover_without_rollback(
+            self):
+        # With the checkpoint rung disabled and a permanent drop, the
+        # retry rung must burn its whole budget before failover fires.
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        backoff = BackoffPolicy(base=1, factor=2, max_delay=8,
+                                max_retries=3)
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_OK_A, rollback=False,
+                            backoff=backoff,
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "completed"
+        episode, = result.episodes
+        assert episode.retries == backoff.max_retries
+        assert episode.waited_ticks == sum(backoff.delays())
+        assert episode.outcome == "failed-over"
+
+    def test_zero_retry_budget_goes_straight_to_failover(self):
+        clients, plans, repository = branchy_module(("wa", "wb"))
+        result = Supervisor(clients, plans, repository,
+                            fault_plan=DROP_OK_A, rollback=False,
+                            backoff=BackoffPolicy(max_retries=0),
+                            seed=BAD_BRANCH_SEED).run()
+        assert result.status == "completed"
+        episode, = result.episodes
+        assert episode.retries == 0
+        assert episode.outcome == "failed-over"

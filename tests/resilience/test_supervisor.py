@@ -48,6 +48,42 @@ class TestCircuitBreaker:
         assert not breaker.allows(4)
         assert breaker.allows(5)
 
+    def test_half_open_retrip_ignores_the_threshold(self):
+        # In half-open a single probe failure re-trips the breaker, no
+        # matter how high the closed-state threshold is.
+        breaker = CircuitBreaker(failure_threshold=5, cooldown=2)
+        for _ in range(5):
+            breaker.record_failure(0)
+        assert breaker.state == OPEN
+        assert breaker.allows(2)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure(3)
+        assert breaker.state == OPEN
+        assert (HALF_OPEN, OPEN) in {(s, t)
+                                     for s, t, _ in breaker.transitions}
+
+    def test_half_open_retrip_restarts_the_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+        breaker.record_failure(0)
+        breaker.allows(3)            # half-open probe
+        breaker.record_failure(4)    # probe fails: re-trip at tick 4
+        assert not breaker.allows(6)  # old cooldown would have expired
+        assert breaker.allows(7)      # the new one counts from tick 4
+        assert breaker.state == HALF_OPEN
+
+    def test_repeated_half_open_cycles_stay_on_legal_edges(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        now = 0
+        for _ in range(4):
+            breaker.record_failure(now)
+            now += 1
+            breaker.allows(now)
+        for source, target, _tick in breaker.transitions:
+            assert (source, target) in BREAKER_EDGES
+        for before, after in zip(breaker.transitions,
+                                 breaker.transitions[1:]):
+            assert before[1] == after[0]
+
     def test_success_resets_failure_count(self):
         breaker = CircuitBreaker(failure_threshold=2, cooldown=5)
         breaker.record_failure(0)
